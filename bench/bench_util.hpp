@@ -1,0 +1,32 @@
+// Shared helpers for the figure/table regeneration binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace mck::bench {
+
+/// "mean +- ci" cell.
+inline std::string mean_ci(const stats::Welford& w) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f +- %.3f", w.mean(),
+                w.ci95_half_width());
+  return buf;
+}
+
+inline std::string num(double v, const char* f = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+inline void banner(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace mck::bench

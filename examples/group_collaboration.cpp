@@ -1,0 +1,55 @@
+// Group collaboration (the Fig. 6 environment as an application): four
+// project teams of four MHs each; chatter stays inside a team, and only
+// team leads talk across teams. Compares how many checkpoints each
+// algorithm family pays per initiation on this locality-friendly
+// workload.
+//
+//   build/examples/group_collaboration
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+
+using namespace mck;
+
+int main() {
+  std::printf(
+      "--- group collaboration: 4 teams x 4 MHs, leaders bridge teams ---\n"
+      "intragroup rate 0.02 msg/s, intergroup 1000x slower, 4 h simulated\n\n");
+
+  struct Contender {
+    const char* name;
+    harness::Algorithm algo;
+  } contenders[] = {
+      {"mutable checkpoints (this paper)", harness::Algorithm::kCaoSinghal},
+      {"Koo-Toueg blocking [19]", harness::Algorithm::kKooToueg},
+      {"Elnozahy all-process [13]", harness::Algorithm::kElnozahy},
+  };
+
+  std::printf("%-34s %10s %12s %14s %12s\n", "algorithm", "ckpts/init",
+              "blocked s", "commit delay", "sys msgs");
+  for (const Contender& c : contenders) {
+    harness::ExperimentConfig cfg;
+    cfg.sys.algorithm = c.algo;
+    cfg.sys.num_processes = 16;
+    cfg.sys.seed = 7;
+    cfg.workload = harness::WorkloadKind::kGroup;
+    cfg.groups = 4;
+    cfg.group_ratio = 1000.0;
+    cfg.rate = 0.02;
+    cfg.ckpt_interval = sim::seconds(900);
+    cfg.horizon = sim::seconds(4 * 3600);
+
+    harness::RunResult res = harness::run_experiment(cfg);
+    std::printf("%-34s %10.2f %12.2f %14.2f %12.1f\n", c.name,
+                res.tentative_per_init.mean(),
+                res.blocked_s_per_init.mean(), res.commit_delay_s.mean(),
+                res.sys_msgs_per_init.mean());
+  }
+
+  std::printf(
+      "\nReading guide: with group locality the dependency closure of an\n"
+      "initiator is mostly its own team (~4-6 processes), so min-process\n"
+      "algorithms checkpoint a fraction of what the all-process baseline\n"
+      "pays - and only the blocking baseline stalls the application.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "baselines/csn_schemes.hpp"
+
+#include "util/assert.hpp"
+
+namespace mck::baselines {
+
+namespace {
+
+struct CsComp final : rt::Payload {
+  Csn csn = 0;
+};
+
+struct CsRequest final : rt::Payload {
+  ckpt::InitiationId initiation = 0;
+  Csn req_csn = 0;
+};
+
+}  // namespace
+
+void CsnSchemeProtocol::start() {
+  R_ = util::BitVec(static_cast<std::size_t>(ctx_.num_processes));
+  csn_.assign(static_cast<std::size_t>(ctx_.num_processes), 0);
+}
+
+std::shared_ptr<const rt::Payload> CsnSchemeProtocol::computation_payload(
+    ProcessId /*dst*/) {
+  auto p = std::make_shared<CsComp>();
+  p->csn = csn_[static_cast<std::size_t>(self())];
+  sent_ = true;
+  return p;
+}
+
+void CsnSchemeProtocol::take_stable(ckpt::InitiationId init) {
+  ++csn_[static_cast<std::size_t>(self())];
+  ckpt::CkptRef ref = ctx_.store->take(
+      self(), ckpt::CkptKind::kTentative,
+      csn_[static_cast<std::size_t>(self())], init, ctx_.log->cursor(self()),
+      ctx_.sim->now());
+  ++ctx_.stats->tentative_taken;
+  if (init != 0) ++ctx_.tracker->at(init).tentative;
+
+  // No second phase: the checkpoint is durable once the transfer lands.
+  sim::SimTime done = start_stable_transfer();
+  ctx_.sim->schedule_at(done, [this, ref]() {
+    ctx_.store->make_permanent(ref, ctx_.sim->now());
+    ++ctx_.stats->permanent_made;
+  });
+
+  // Propagate requests to our dependencies (only for explicit
+  // initiations; message-forced checkpoints cascade via csn alone).
+  if (init != 0) {
+    for (ProcessId k = 0; k < ctx_.num_processes; ++k) {
+      if (k == self() || !R_.test(static_cast<std::size_t>(k))) continue;
+      auto rq = std::make_shared<CsRequest>();
+      rq->initiation = init;
+      rq->req_csn = csn_[static_cast<std::size_t>(k)];
+      send_system(rt::MsgKind::kRequest, k, std::move(rq));
+      ++ctx_.tracker->at(init).requests;
+    }
+  }
+  sent_ = false;
+  R_.reset();
+}
+
+void CsnSchemeProtocol::initiate() {
+  ckpt::InitiationId init = ckpt::make_initiation_id(
+      self(), csn_[static_cast<std::size_t>(self())] + 1);
+  ctx_.tracker->open(init, self(), ctx_.sim->now());
+  take_stable(init);
+}
+
+void CsnSchemeProtocol::handle_computation(const rt::Message& m) {
+  const CsComp* p = m.payload_as<CsComp>();
+  MCK_ASSERT(p != nullptr);
+  std::size_t j = static_cast<std::size_t>(m.src);
+  if (p->csn > csn_[j]) {
+    csn_[j] = p->csn;
+    const bool must = kind_ == CsnSchemeKind::kSimple || sent_;
+    if (must) {
+      // Forced stable checkpoint before processing — avalanche link.
+      ++forced_;
+      ++ctx_.stats->forced_by_message;
+      ++ctx_.stats->checkpoint_cascades;
+      take_stable(0);
+    }
+  }
+  R_.set(j);
+  process_computation(m);
+}
+
+void CsnSchemeProtocol::handle_system(const rt::Message& m) {
+  MCK_ASSERT(m.kind == rt::MsgKind::kRequest);
+  const CsRequest* p = m.payload_as<CsRequest>();
+  MCK_ASSERT(p != nullptr);
+  if (csn_[static_cast<std::size_t>(self())] > p->req_csn) {
+    return;  // checkpointed since the dependency was created
+  }
+  take_stable(p->initiation);
+}
+
+}  // namespace mck::baselines

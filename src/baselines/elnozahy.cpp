@@ -1,0 +1,147 @@
+#include "baselines/elnozahy.hpp"
+
+#include "util/assert.hpp"
+
+namespace mck::baselines {
+
+namespace {
+
+struct EjComp final : rt::Payload {
+  Csn csn = 0;
+  ckpt::InitiationId initiation = 0;  // initiation that produced this csn
+};
+
+struct EjRequest final : rt::Payload {
+  Csn csn = 0;
+  ckpt::InitiationId initiation = 0;
+};
+
+struct EjReply final : rt::Payload {
+  ckpt::InitiationId initiation = 0;
+};
+
+struct EjCommit final : rt::Payload {
+  ckpt::InitiationId initiation = 0;
+};
+
+}  // namespace
+
+void ElnozahyProtocol::start() {}
+
+std::shared_ptr<const rt::Payload> ElnozahyProtocol::computation_payload(
+    ProcessId /*dst*/) {
+  auto p = std::make_shared<EjComp>();
+  p->csn = csn_;
+  p->initiation = pending_init_;
+  return p;
+}
+
+void ElnozahyProtocol::take_checkpoint(Csn new_csn, ckpt::InitiationId init) {
+  if (csn_ >= new_csn) return;  // already at (or past) this global index
+  MCK_ASSERT_MSG(pending_init_ == 0 || pending_init_ == init,
+                 "EJZ requires serialized initiations");
+  csn_ = new_csn;
+  pending_init_ = init;
+  pending_ref_ = ctx_.store->take(self(), ckpt::CkptKind::kTentative, csn_,
+                                  init, ctx_.log->cursor(self()),
+                                  ctx_.sim->now());
+  ++ctx_.stats->tentative_taken;
+  ++ctx_.tracker->at(init).tentative;
+
+  const ProcessId initiator = ckpt::initiation_pid(init);
+  sim::SimTime done = start_stable_transfer();
+  ctx_.sim->schedule_at(done, [this, init, initiator]() {
+    if (pending_init_ != init) return;
+    if (initiator == self()) {
+      transfer_done_ = true;
+      if (awaiting_replies_ == 0) {
+        // Degenerate single-process case.
+        ctx_.tracker->at(init).committed_at = ctx_.sim->now();
+      }
+    } else {
+      auto rp = std::make_shared<EjReply>();
+      rp->initiation = init;
+      send_system(rt::MsgKind::kReply, initiator, std::move(rp));
+      ++ctx_.tracker->at(init).replies;
+    }
+  });
+}
+
+void ElnozahyProtocol::initiate() {
+  if (coordination_active()) return;
+  Csn c = csn_ + 1;
+  ckpt::InitiationId init = ckpt::make_initiation_id(self(), c);
+  ctx_.tracker->open(init, self(), ctx_.sim->now());
+  awaiting_replies_ = ctx_.num_processes - 1;
+  transfer_done_ = false;
+  take_checkpoint(c, init);
+
+  auto rq = std::make_shared<EjRequest>();
+  rq->csn = c;
+  rq->initiation = init;
+  broadcast_system(rt::MsgKind::kRequest, rq);
+  ctx_.tracker->at(init).requests +=
+      static_cast<std::uint64_t>(ctx_.num_processes - 1);
+}
+
+void ElnozahyProtocol::handle_computation(const rt::Message& m) {
+  const EjComp* p = m.payload_as<EjComp>();
+  MCK_ASSERT(p != nullptr);
+  if (p->csn > csn_) {
+    // Forced checkpoint before processing — the csn rule of [13].
+    ++ctx_.stats->forced_by_message;
+    take_checkpoint(p->csn, p->initiation);
+  }
+  process_computation(m);
+}
+
+void ElnozahyProtocol::handle_system(const rt::Message& m) {
+  switch (m.kind) {
+    case rt::MsgKind::kRequest: {
+      const EjRequest* p = m.payload_as<EjRequest>();
+      MCK_ASSERT(p != nullptr);
+      ctx_.tracker->at(p->initiation).last_request_at = ctx_.sim->now();
+      take_checkpoint(p->csn, p->initiation);
+      break;
+    }
+    case rt::MsgKind::kReply: {
+      const EjReply* p = m.payload_as<EjReply>();
+      MCK_ASSERT(p != nullptr);
+      if (pending_init_ != p->initiation) return;
+      MCK_ASSERT(awaiting_replies_ > 0);
+      if (--awaiting_replies_ == 0 && transfer_done_) {
+        ckpt::InitiationStats& st = ctx_.tracker->at(p->initiation);
+        st.committed_at = ctx_.sim->now();
+        auto cm = std::make_shared<EjCommit>();
+        cm->initiation = p->initiation;
+        broadcast_system(rt::MsgKind::kCommit, cm);
+        st.commits += static_cast<std::uint64_t>(ctx_.num_processes - 1);
+        // Local commit.
+        const ckpt::CheckpointRecord& rec = ctx_.store->get(pending_ref_);
+        ctx_.store->make_permanent(pending_ref_, ctx_.sim->now());
+        ++ctx_.stats->permanent_made;
+        st.line_updates.emplace_back(self(), rec.event_cursor);
+        pending_init_ = 0;
+        pending_ref_ = ckpt::kNoCkpt;
+      }
+      break;
+    }
+    case rt::MsgKind::kCommit: {
+      const EjCommit* p = m.payload_as<EjCommit>();
+      MCK_ASSERT(p != nullptr);
+      if (pending_init_ != p->initiation) return;
+      const ckpt::CheckpointRecord& rec = ctx_.store->get(pending_ref_);
+      ctx_.store->make_permanent(pending_ref_, ctx_.sim->now());
+      ++ctx_.stats->permanent_made;
+      ctx_.tracker->at(p->initiation)
+          .line_updates.emplace_back(self(), rec.event_cursor);
+      pending_init_ = 0;
+      pending_ref_ = ckpt::kNoCkpt;
+      break;
+    }
+    default:
+      MCK_ASSERT_MSG(false, "unexpected system message in EJZ");
+  }
+}
+
+}  // namespace mck::baselines

@@ -1,0 +1,206 @@
+#include "baselines/koo_toueg.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mck::baselines {
+
+namespace {
+
+struct KtComp final : rt::Payload {
+  Csn csn = 0;  // sender's stable-checkpoint count
+};
+
+struct KtRequest final : rt::Payload {
+  ckpt::InitiationId initiation = 0;
+  Csn req_csn = 0;  // requester's knowledge of our csn
+};
+
+struct KtReply final : rt::Payload {
+  ckpt::InitiationId initiation = 0;
+};
+
+struct KtCommit final : rt::Payload {
+  ckpt::InitiationId initiation = 0;
+};
+
+}  // namespace
+
+void KooTouegProtocol::start() {
+  R_ = util::BitVec(static_cast<std::size_t>(ctx_.num_processes));
+  csn_.assign(static_cast<std::size_t>(ctx_.num_processes), 0);
+}
+
+ckpt::InitiationStats& KooTouegProtocol::stats_of(ckpt::InitiationId init) {
+  return ctx_.tracker->at(init);
+}
+
+std::shared_ptr<const rt::Payload> KooTouegProtocol::computation_payload(
+    ProcessId /*dst*/) {
+  auto p = std::make_shared<KtComp>();
+  p->csn = own_csn_;
+  sent_ = true;
+  return p;
+}
+
+void KooTouegProtocol::handle_computation(const rt::Message& m) {
+  const KtComp* p = m.payload_as<KtComp>();
+  MCK_ASSERT(p != nullptr);
+  std::size_t j = static_cast<std::size_t>(m.src);
+  if (p->csn > csn_[j]) csn_[j] = p->csn;
+  R_.set(j);
+  process_computation(m);
+}
+
+void KooTouegProtocol::initiate() {
+  if (coordinating_) return;
+  ckpt::InitiationId init = ckpt::make_initiation_id(self(), own_csn_ + 1);
+  ctx_.tracker->open(init, self(), ctx_.sim->now());
+  take_tentative_and_propagate(init, kInvalidProcess);
+}
+
+void KooTouegProtocol::take_tentative_and_propagate(ckpt::InitiationId init,
+                                                    ProcessId parent) {
+  MCK_ASSERT(!coordinating_);
+  coordinating_ = true;
+
+  Coordination c;
+  c.initiation = init;
+  c.parent = parent;
+  c.saved_R = R_;
+  c.saved_sent = sent_;
+
+  ++own_csn_;
+  c.ref = ctx_.store->take(self(), ckpt::CkptKind::kTentative, own_csn_, init,
+                           ctx_.log->cursor(self()), ctx_.sim->now());
+  ++ctx_.stats->tentative_taken;
+  ckpt::InitiationStats& st = stats_of(init);
+  ++st.tentative;
+
+  // Koo-Toueg blocks the underlying computation from the tentative
+  // checkpoint until the commit arrives.
+  block();
+
+  // Propagate to every dependency (no MR filtering — the O(Nmin * Ndep)
+  // message behaviour of Table 1).
+  for (ProcessId k = 0; k < ctx_.num_processes; ++k) {
+    if (k == self() || !R_.test(static_cast<std::size_t>(k))) continue;
+    auto rq = std::make_shared<KtRequest>();
+    rq->initiation = init;
+    rq->req_csn = csn_[static_cast<std::size_t>(k)];
+    send_system(rt::MsgKind::kRequest, k, std::move(rq));
+    ++st.requests;
+    c.children.push_back(k);
+    ++c.outstanding_children;
+  }
+
+  sent_ = false;
+  R_.reset();
+  coord_ = std::move(c);
+
+  // Reply to the parent only once the checkpoint data reached stable
+  // storage and all children answered.
+  sim::SimTime done = start_stable_transfer();
+  ctx_.sim->schedule_at(done, [this, init]() {
+    if (coord_ && coord_->initiation == init) {
+      coord_->transfer_done = true;
+      maybe_reply();
+    }
+  });
+}
+
+void KooTouegProtocol::maybe_reply() {
+  MCK_ASSERT(coord_.has_value());
+  Coordination& c = *coord_;
+  if (!c.transfer_done || c.outstanding_children > 0 || c.reply_sent) return;
+  c.reply_sent = true;
+  if (c.parent == kInvalidProcess) {
+    // We are the initiator: phase 2 — commit down the tree.
+    stats_of(c.initiation).committed_at = ctx_.sim->now();
+    finish_commit(c.initiation);
+  } else {
+    auto rp = std::make_shared<KtReply>();
+    rp->initiation = c.initiation;
+    send_system(rt::MsgKind::kReply, c.parent, std::move(rp));
+    ++stats_of(c.initiation).replies;
+  }
+}
+
+void KooTouegProtocol::finish_commit(ckpt::InitiationId init) {
+  MCK_ASSERT(coord_ && coord_->initiation == init);
+  Coordination c = *coord_;
+  coord_.reset();
+  coordinating_ = false;
+
+  const ckpt::CheckpointRecord& rec = ctx_.store->get(c.ref);
+  ctx_.store->make_permanent(c.ref, ctx_.sim->now());
+  ++ctx_.stats->permanent_made;
+  ckpt::InitiationStats& st = stats_of(init);
+  st.line_updates.emplace_back(self(), rec.event_cursor);
+  st.blocked_time += ctx_.sim->now() - rec.taken_at;
+
+  for (ProcessId child : c.children) {
+    auto cm = std::make_shared<KtCommit>();
+    cm->initiation = init;
+    send_system(rt::MsgKind::kCommit, child, std::move(cm));
+    ++st.commits;
+  }
+  unblock();
+}
+
+void KooTouegProtocol::handle_system(const rt::Message& m) {
+  switch (m.kind) {
+    case rt::MsgKind::kRequest: {
+      const KtRequest* p = m.payload_as<KtRequest>();
+      MCK_ASSERT(p != nullptr);
+      ctx_.tracker->at(p->initiation).last_request_at = ctx_.sim->now();
+      if (coordinating_) {
+        // Already part of this coordination (dependency cycles) — answer
+        // immediately so the tree unwinds.
+        MCK_ASSERT_MSG(coord_ && coord_->initiation == p->initiation,
+                       "Koo-Toueg requires serialized initiations");
+        auto rp = std::make_shared<KtReply>();
+        rp->initiation = p->initiation;
+        send_system(rt::MsgKind::kReply, m.src, std::move(rp));
+        ++stats_of(p->initiation).replies;
+        ++stats_of(p->initiation).duplicate_requests;
+        return;
+      }
+      if (own_csn_ > p->req_csn) {
+        // We checkpointed after the message that created the dependency.
+        auto rp = std::make_shared<KtReply>();
+        rp->initiation = p->initiation;
+        send_system(rt::MsgKind::kReply, m.src, std::move(rp));
+        ++stats_of(p->initiation).replies;
+        ++stats_of(p->initiation).duplicate_requests;
+        return;
+      }
+      take_tentative_and_propagate(p->initiation, m.src);
+      break;
+    }
+    case rt::MsgKind::kReply: {
+      const KtReply* p = m.payload_as<KtReply>();
+      MCK_ASSERT(p != nullptr);
+      if (!coord_ || coord_->initiation != p->initiation) return;
+      --coord_->outstanding_children;
+      MCK_ASSERT(coord_->outstanding_children >= 0);
+      maybe_reply();
+      break;
+    }
+    case rt::MsgKind::kCommit: {
+      const KtCommit* p = m.payload_as<KtCommit>();
+      MCK_ASSERT(p != nullptr);
+      // A process that answered several parents appears in several child
+      // lists and receives a commit from each; only the first matters.
+      if (!coord_ || coord_->initiation != p->initiation) return;
+      finish_commit(p->initiation);
+      break;
+    }
+    default:
+      MCK_ASSERT_MSG(false, "unexpected system message in Koo-Toueg");
+  }
+}
+
+}  // namespace mck::baselines

@@ -1,0 +1,151 @@
+#include "baselines/lai_yang.hpp"
+
+#include "util/assert.hpp"
+
+namespace mck::baselines {
+
+namespace {
+
+struct LyComp final : rt::Payload {
+  Csn round = 0;  // the sender's color at send time
+  ckpt::InitiationId initiation = 0;
+};
+
+struct LyAnnounce final : rt::Payload {
+  Csn round = 0;
+  ckpt::InitiationId initiation = 0;
+};
+
+struct LyReply final : rt::Payload {
+  ckpt::InitiationId initiation = 0;
+};
+
+struct LyCommit final : rt::Payload {
+  ckpt::InitiationId initiation = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const rt::Payload> LaiYangProtocol::computation_payload(
+    ProcessId /*dst*/) {
+  auto p = std::make_shared<LyComp>();
+  p->round = round_;
+  p->initiation = pending_init_;
+  return p;
+}
+
+void LaiYangProtocol::take_snapshot(Csn new_round, ckpt::InitiationId init) {
+  if (round_ >= new_round) return;
+  MCK_ASSERT_MSG(pending_init_ == 0 || pending_init_ == init,
+                 "Lai-Yang requires serialized rounds");
+  round_ = new_round;
+  pending_init_ = init;
+  channel_state_msgs_ = 0;
+  pending_ref_ = ctx_.store->take(self(), ckpt::CkptKind::kTentative, round_,
+                                  init, ctx_.log->cursor(self()),
+                                  ctx_.sim->now());
+  ++ctx_.stats->tentative_taken;
+  ++ctx_.tracker->at(init).tentative;
+
+  const ProcessId initiator = ckpt::initiation_pid(init);
+  sim::SimTime done = start_stable_transfer();
+  ctx_.sim->schedule_at(done, [this, init, initiator]() {
+    if (pending_init_ != init) return;
+    if (initiator == self()) {
+      transfer_done_ = true;
+      maybe_commit(init);
+      return;
+    }
+    auto rp = std::make_shared<LyReply>();
+    rp->initiation = init;
+    send_system(rt::MsgKind::kReply, initiator, std::move(rp));
+    ++ctx_.tracker->at(init).replies;
+  });
+}
+
+void LaiYangProtocol::maybe_commit(ckpt::InitiationId init) {
+  if (pending_init_ != init || awaiting_replies_ > 0 || !transfer_done_) {
+    return;
+  }
+  ckpt::InitiationStats& st = ctx_.tracker->at(init);
+  st.committed_at = ctx_.sim->now();
+  auto cm = std::make_shared<LyCommit>();
+  cm->initiation = init;
+  broadcast_system(rt::MsgKind::kCommit, cm);
+  st.commits += static_cast<std::uint64_t>(ctx_.num_processes - 1);
+  const ckpt::CheckpointRecord& rec = ctx_.store->get(pending_ref_);
+  ctx_.store->make_permanent(pending_ref_, ctx_.sim->now());
+  ++ctx_.stats->permanent_made;
+  st.line_updates.emplace_back(self(), rec.event_cursor);
+  pending_init_ = 0;
+  pending_ref_ = ckpt::kNoCkpt;
+}
+
+void LaiYangProtocol::initiate() {
+  if (coordination_active()) return;
+  Csn next = round_ + 1;
+  ckpt::InitiationId init = ckpt::make_initiation_id(self(), next);
+  ctx_.tracker->open(init, self(), ctx_.sim->now());
+  awaiting_replies_ = ctx_.num_processes - 1;
+  transfer_done_ = false;
+  take_snapshot(next, init);
+  auto an = std::make_shared<LyAnnounce>();
+  an->round = next;
+  an->initiation = init;
+  broadcast_system(rt::MsgKind::kRequest, an);
+  ctx_.tracker->at(init).requests +=
+      static_cast<std::uint64_t>(ctx_.num_processes - 1);
+}
+
+void LaiYangProtocol::handle_computation(const rt::Message& m) {
+  const LyComp* p = m.payload_as<LyComp>();
+  MCK_ASSERT(p != nullptr);
+  if (p->round > round_) {
+    // A red message reaching a white process: snapshot before processing
+    // — the flag rule of [21]; works without FIFO channels.
+    ++ctx_.stats->forced_by_message;
+    take_snapshot(p->round, p->initiation);
+  } else if (p->round < round_) {
+    // A white message reaching a red process: it crossed the cut and
+    // belongs to the recorded channel state.
+    ++channel_state_msgs_;
+  }
+  process_computation(m);
+}
+
+void LaiYangProtocol::handle_system(const rt::Message& m) {
+  switch (m.kind) {
+    case rt::MsgKind::kRequest: {
+      const LyAnnounce* p = m.payload_as<LyAnnounce>();
+      MCK_ASSERT(p != nullptr);
+      ctx_.tracker->at(p->initiation).last_request_at = ctx_.sim->now();
+      take_snapshot(p->round, p->initiation);
+      break;
+    }
+    case rt::MsgKind::kReply: {
+      const LyReply* p = m.payload_as<LyReply>();
+      MCK_ASSERT(p != nullptr);
+      if (pending_init_ != p->initiation) return;
+      --awaiting_replies_;
+      maybe_commit(p->initiation);
+      break;
+    }
+    case rt::MsgKind::kCommit: {
+      const LyCommit* p = m.payload_as<LyCommit>();
+      MCK_ASSERT(p != nullptr);
+      if (pending_init_ != p->initiation) return;
+      const ckpt::CheckpointRecord& rec = ctx_.store->get(pending_ref_);
+      ctx_.store->make_permanent(pending_ref_, ctx_.sim->now());
+      ++ctx_.stats->permanent_made;
+      ctx_.tracker->at(p->initiation)
+          .line_updates.emplace_back(self(), rec.event_cursor);
+      pending_init_ = 0;
+      pending_ref_ = ckpt::kNoCkpt;
+      break;
+    }
+    default:
+      MCK_ASSERT_MSG(false, "unexpected system message in Lai-Yang");
+  }
+}
+
+}  // namespace mck::baselines

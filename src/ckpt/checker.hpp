@@ -1,0 +1,42 @@
+// Consistency checker: the executable oracle for Theorem 1.
+//
+// Replays committed initiations in commit order, maintains the global
+// checkpoint line, and verifies after every commit that the line contains
+// no orphan message. Coordinated protocols must always pass; the scripted
+// Prakash-Singhal-style scenario (Fig. 2) must fail, which is how the tests
+// validate the checker itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ckpt/event_log.hpp"
+#include "ckpt/tracker.hpp"
+
+namespace mck::ckpt {
+
+struct CheckResult {
+  bool consistent = true;
+  std::vector<Orphan> orphans;          // across all committed lines
+  std::size_t lines_checked = 0;
+  std::size_t in_transit_total = 0;     // informational (lost-message count)
+  std::string describe() const;
+};
+
+class ConsistencyChecker {
+ public:
+  ConsistencyChecker(const EventLog& log, const CoordinationTracker& tracker)
+      : log_(log), tracker_(tracker) {}
+
+  /// Checks every committed initiation's line.
+  CheckResult check_all() const;
+
+  /// Line in effect after the given committed initiation (commit order).
+  Line line_after(InitiationId id) const;
+
+ private:
+  const EventLog& log_;
+  const CoordinationTracker& tracker_;
+};
+
+}  // namespace mck::ckpt

@@ -1,0 +1,54 @@
+// Rollback-recovery over recorded checkpoints.
+//
+// Two recovery modes, matching the paper's comparison of coordinated vs
+// uncoordinated checkpointing (Sections 1 and 6):
+//
+//  * Coordinated: restart from the last *committed* global checkpoint line
+//    — by construction consistent, one stable checkpoint per process.
+//  * Uncoordinated: search for the most recent consistent line among all
+//    local checkpoints using classic rollback propagation; this is where
+//    the domino effect appears and is measured.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/event_log.hpp"
+#include "ckpt/store.hpp"
+#include "ckpt/tracker.hpp"
+
+namespace mck::ckpt {
+
+struct RecoveryOutcome {
+  Line line;                          // cursors restarted from
+  std::uint64_t lost_events = 0;      // sum over processes of events undone
+  std::uint64_t rollback_steps = 0;   // checkpoint hops walked backwards
+  bool domino_to_start = false;       // some process fell back to its
+                                      // initial state during the search
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(const EventLog& log, const CheckpointStore& store,
+                  const CoordinationTracker& tracker)
+      : log_(log), store_(store), tracker_(tracker) {}
+
+  /// Coordinated recovery at time `t`: the line of the latest initiation
+  /// committed at or before `t`.
+  RecoveryOutcome recover_coordinated(sim::SimTime t) const;
+
+  /// Uncoordinated recovery at time `t`: rollback propagation over every
+  /// non-discarded checkpoint taken at or before `t` (permanent, tentative
+  /// and mutable alike — uncoordinated protocols keep them all locally).
+  RecoveryOutcome recover_uncoordinated(sim::SimTime t) const;
+
+ private:
+  RecoveryOutcome finish(Line line, std::uint64_t rollback_steps,
+                         bool domino) const;
+
+  const EventLog& log_;
+  const CheckpointStore& store_;
+  const CoordinationTracker& tracker_;
+};
+
+}  // namespace mck::ckpt

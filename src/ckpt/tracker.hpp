@@ -1,0 +1,118 @@
+// Per-initiation bookkeeping shared by all protocols: which processes took
+// tentative / mutable checkpoints, how many system messages were spent,
+// when the initiation started and committed. The harness reads this to
+// produce the paper's metrics (Figs 5-6, Table 1); the consistency checker
+// reads it to rebuild committed global checkpoint lines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ckpt/store.hpp"
+#include "sim/time.hpp"
+#include "util/types.hpp"
+
+namespace mck::ckpt {
+
+struct InitiationStats {
+  InitiationId id = 0;
+  ProcessId initiator = kInvalidProcess;
+  sim::SimTime started_at = 0;
+  sim::SimTime committed_at = -1;  // initiator's decision time
+  sim::SimTime aborted_at = -1;
+  bool committed() const { return committed_at >= 0; }
+  bool aborted() const { return aborted_at >= 0; }
+
+  // Kim-Park partial commit (Section 3.6): the initiation committed, but
+  // processes depending on a failed process aborted their tentative
+  // checkpoints.
+  bool partial_commit = false;
+  std::uint32_t participants_aborted = 0;
+
+  // Checkpoint counts for this initiation.
+  std::uint32_t tentative = 0;          // incl. initiator's own
+  std::uint32_t mutables_taken = 0;     // mutable checkpoints attributed here
+  std::uint32_t mutables_promoted = 0;  // turned into tentative
+  std::uint32_t mutables_discarded = 0; // redundant (Section 5 definition)
+
+  // System-message counts attributed to this initiation.
+  std::uint64_t requests = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t commits = 0;  // commit messages (N for broadcast)
+  std::uint64_t aborts = 0;
+  std::uint64_t duplicate_requests = 0;  // requests ignored by the receiver
+
+  // Blocking (Koo-Toueg): total process-seconds blocked for this initiation.
+  sim::SimTime blocked_time = 0;
+
+  // T_ch decomposition (Section 5.3: T_ch = T_msg + T_data + T_disk):
+  // when the last checkpoint request of this initiation was *processed*
+  // (the synchronization phase T_msg ends here; the rest of the commit
+  // delay is checkpoint-transfer time T_data).
+  sim::SimTime last_request_at = -1;
+
+  sim::SimTime t_msg() const {
+    return last_request_at < 0 ? 0 : last_request_at - started_at;
+  }
+  sim::SimTime t_data() const {
+    if (!committed()) return 0;
+    sim::SimTime sync_end = last_request_at < 0 ? started_at : last_request_at;
+    return committed_at - sync_end;
+  }
+
+  // Contributions to the committed global checkpoint line:
+  // (pid, event cursor of the checkpoint made permanent here).
+  std::vector<std::pair<ProcessId, std::uint64_t>> line_updates;
+};
+
+class CoordinationTracker {
+ public:
+  InitiationStats& open(InitiationId id, ProcessId initiator,
+                        sim::SimTime now) {
+    InitiationStats& s = map_[id];
+    if (s.id == 0) {
+      s.id = id;
+      s.initiator = initiator;
+      s.started_at = now;
+      order_.push_back(id);
+    }
+    return s;
+  }
+
+  /// Initiation must already exist (a participant reports into it).
+  InitiationStats& at(InitiationId id) {
+    InitiationStats& s = map_[id];
+    if (s.id == 0) {
+      // A participant can observe an initiation before the harness does
+      // (message reordering across MSSs); register it lazily.
+      s.id = id;
+      s.initiator = initiation_pid(id);
+      order_.push_back(id);
+    }
+    return s;
+  }
+
+  bool contains(InitiationId id) const { return map_.count(id) != 0; }
+
+  const InitiationStats* find(InitiationId id) const {
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Initiations in start order.
+  std::vector<const InitiationStats*> in_order() const {
+    std::vector<const InitiationStats*> out;
+    out.reserve(order_.size());
+    for (InitiationId id : order_) out.push_back(&map_.at(id));
+    return out;
+  }
+
+  std::size_t initiation_count() const { return order_.size(); }
+
+ private:
+  std::map<InitiationId, InitiationStats> map_;
+  std::vector<InitiationId> order_;
+};
+
+}  // namespace mck::ckpt

@@ -1,0 +1,809 @@
+#include "core/cao_singhal.hpp"
+
+#include <algorithm>
+
+#include "core/codec.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mck::core {
+
+using util::BitVec;
+using util::Weight;
+
+CaoSinghalProtocol::CaoSinghalProtocol(CaoSinghalOptions opts)
+    : opts_(opts) {}
+
+void CaoSinghalProtocol::start() {
+  const int n = ctx_.num_processes;
+  MCK_ASSERT(n > 0);
+  R_ = BitVec(static_cast<std::size_t>(n));
+  csn_.assign(static_cast<std::size_t>(n), 0);
+  dep_csn_.assign(static_cast<std::size_t>(n), 0);
+  own_trigger_ = Trigger{self(), 0};
+}
+
+ckpt::InitiationStats& CaoSinghalProtocol::init_stats(const Trigger& t) {
+  return ctx_.tracker->at(t.initiation());
+}
+
+void CaoSinghalProtocol::schedule_pending_reap(const Trigger& trigger) {
+  if (opts_.decision_timeout <= 0) return;
+  ctx_.sim->schedule_after(2 * opts_.decision_timeout, [this, trigger]() {
+    if (terminated_.count(trigger.initiation()) != 0) return;
+    for (const PendingTentative& pt : pending_) {
+      if (pt.trigger == trigger) {
+        // The initiation's decision never reached us: its initiator is
+        // gone (Section 3.6). Abort locally; the abort restores R/sent so
+        // later initiations see (and re-propagate) the dependencies that
+        // were stashed in this tentative.
+        ++ctx_.stats->pending_reaped;
+        handle_abort(trigger);
+        return;
+      }
+    }
+  });
+}
+
+std::uint64_t CaoSinghalProtocol::system_payload_wire_size(
+    const rt::Payload& p) const {
+  return wire_size(p);
+}
+
+void CaoSinghalProtocol::on_disconnect() {
+  // The MH snapshots its state and ships it to the MSS as
+  // disconnect_checkpoint_i before leaving (one 512 KB transfer). While
+  // disconnected no events occur at the process, so this record stays a
+  // faithful image of its state for the whole disconnect interval.
+  ctx_.store->take(self(), ckpt::CkptKind::kDisconnect,
+                   csn_[static_cast<std::size_t>(self())], 0,
+                   ctx_.log->cursor(self()), ctx_.sim->now());
+  (void)start_stable_transfer();
+}
+
+BitVec CaoSinghalProtocol::effective_R() const {
+  BitVec r = R_;
+  for (const MutableRec& m : mutables_) r.merge(m.saved_R);
+  return r;
+}
+
+bool CaoSinghalProtocol::effective_sent() const {
+  if (sent_) return true;
+  for (const MutableRec& m : mutables_) {
+    if (m.saved_sent) return true;
+  }
+  return false;
+}
+
+int CaoSinghalProtocol::find_mutable(const Trigger& trigger) const {
+  for (std::size_t i = 0; i < mutables_.size(); ++i) {
+    if (mutables_[i].trigger == trigger) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void CaoSinghalProtocol::discard_mutables_matching(const Trigger& trigger,
+                                                   bool merge_back) {
+  for (std::size_t i = 0; i < mutables_.size();) {
+    if (mutables_[i].trigger == trigger) {
+      MutableRec rec = mutables_[i];
+      mutables_.erase(mutables_.begin() + static_cast<std::ptrdiff_t>(i));
+      ctx_.store->discard(rec.ref);
+      ++ctx_.stats->mutable_discarded;
+      ++init_stats(rec.trigger).mutables_discarded;
+      if (merge_back) {
+        // Paper: "sent_j := sent_j ∪ CP_j.sent; R_j := R_j ∪ CP_j.R".
+        R_.merge(rec.saved_R);
+        sent_ = sent_ || rec.saved_sent;
+      }
+    } else {
+      ++i;
+    }
+  }
+}
+
+void CaoSinghalProtocol::discard_all_mutables(bool merge_back) {
+  while (!mutables_.empty()) {
+    MutableRec rec = mutables_.back();
+    mutables_.pop_back();
+    ctx_.store->discard(rec.ref);
+    ++ctx_.stats->mutable_discarded;
+    ++init_stats(rec.trigger).mutables_discarded;
+    if (merge_back) {
+      R_.merge(rec.saved_R);
+      sent_ = sent_ || rec.saved_sent;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sending computation messages
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const rt::Payload> CaoSinghalProtocol::computation_payload(
+    ProcessId dst) {
+  auto p = std::make_shared<CompPayload>();
+  p->csn = csn_[static_cast<std::size_t>(self())];
+  if (cp_state_) {
+    p->trigger = own_trigger_;
+    // Update-approach history (Section 3.3.5).
+    if (opts_.commit_mode != CommitMode::kBroadcast &&
+        std::find(cp_send_history_.begin(), cp_send_history_.end(), dst) ==
+            cp_send_history_.end()) {
+      cp_send_history_.push_back(dst);
+    }
+  }
+  sent_ = true;
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Initiation (Section 3.3.1)
+// ---------------------------------------------------------------------
+
+void CaoSinghalProtocol::initiate() {
+  if (active_initiator_) return;  // already running one
+  const ProcessId me = self();
+  ++csn_[static_cast<std::size_t>(me)];
+  own_trigger_ = Trigger{me, csn_[static_cast<std::size_t>(me)]};
+  cp_state_ = true;
+  const Trigger t = own_trigger_;
+
+  ckpt::InitiationStats& st =
+      ctx_.tracker->open(t.initiation(), me, ctx_.sim->now());
+  (void)st;
+
+  active_initiator_ = true;
+  acc_weight_ = Weight::zero();
+  self_weight_banked_ = false;
+  repliers_.clear();
+  abort_sent_ = false;
+  init_failed_.clear();
+  replier_deps_.clear();
+
+  std::vector<MrEntry> mr(static_cast<std::size_t>(ctx_.num_processes));
+  mr[static_cast<std::size_t>(me)] =
+      MrEntry{csn_[static_cast<std::size_t>(me)], 1};
+
+  MCK_TRACE("[t=%.3fms] P%d initiates %s", sim::to_milliseconds(ctx_.sim->now()),
+            me, t.to_string().c_str());
+  if (opts_.decision_timeout > 0) {
+    ctx_.sim->schedule_after(opts_.decision_timeout, [this, t]() {
+      if (active_initiator_ && own_trigger_ == t) initiator_abort();
+    });
+  }
+  take_tentative(t, mr, Weight::one(), /*as_initiator=*/true);
+}
+
+// ---------------------------------------------------------------------
+// prop_cp (Section 3.3 subroutine)
+// ---------------------------------------------------------------------
+
+Weight CaoSinghalProtocol::prop_cp(const BitVec& deps,
+                                   const std::vector<MrEntry>& mr_in,
+                                   const Trigger& trigger, Weight weight) {
+  const int n = ctx_.num_processes;
+  std::vector<MrEntry> temp(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const MrEntry in = static_cast<std::size_t>(k) < mr_in.size()
+                           ? mr_in[static_cast<std::size_t>(k)]
+                           : MrEntry{};
+    temp[static_cast<std::size_t>(k)].csn =
+        std::max(in.csn, dep_csn_[static_cast<std::size_t>(k)]);
+    temp[static_cast<std::size_t>(k)].requested =
+        in.requested | (deps.size() && deps.test(static_cast<std::size_t>(k))
+                            ? std::uint8_t{1}
+                            : std::uint8_t{0});
+  }
+
+  ckpt::InitiationStats& st = init_stats(trigger);
+  for (int k = 0; k < n; ++k) {
+    if (k == self()) continue;
+    if (!deps.test(static_cast<std::size_t>(k))) continue;
+    const MrEntry in = static_cast<std::size_t>(k) < mr_in.size()
+                           ? mr_in[static_cast<std::size_t>(k)]
+                           : MrEntry{};
+    // Prose of Section 3.3.2: skip P_k iff MR records that someone already
+    // sent P_k a request with req_csn >= (the csn of the interval in which
+    // our dependency on P_k was created).
+    const bool covered =
+        in.requested != 0 && in.csn >= dep_csn_[static_cast<std::size_t>(k)];
+    if (opts_.mr_filter && covered) continue;
+
+    if (!ctx_.net->reachable(k)) {
+      // Section 3.6: "some processes that try to communicate with it get
+      // to know of the failure" and notify the initiator.
+      if (opts_.failure_mode == FailureMode::kPartialCommit) {
+        // Kim-Park: keep going; the initiator decides at termination who
+        // commits and who aborts.
+        if (trigger.pid == self()) {
+          init_failed_.push_back(k);
+        } else {
+          observed_failures_.push_back(k);
+        }
+      } else if (trigger.pid == self()) {
+        ctx_.sim->schedule_after(0, [this, trigger]() {
+          if (active_initiator_ && own_trigger_ == trigger) {
+            initiator_abort();
+          }
+        });
+      } else {
+        send_reply(trigger, Weight::zero(), /*refused=*/true);
+      }
+      continue;
+    }
+
+    weight.halve();
+    auto rp = std::make_shared<RequestPayload>();
+    rp->mr = temp;
+    rp->sender_csn = csn_[static_cast<std::size_t>(self())];
+    rp->trigger = trigger;
+    rp->req_csn = dep_csn_[static_cast<std::size_t>(k)];
+    rp->weight = weight;
+    send_system(rt::MsgKind::kRequest, k, std::move(rp));
+    ++st.requests;
+    MCK_TRACE("[t=%.3fms] P%d -> P%d request %s req_csn=%u",
+              sim::to_milliseconds(ctx_.sim->now()), self(), k,
+              trigger.to_string().c_str(),
+              dep_csn_[static_cast<std::size_t>(k)]);
+  }
+  return weight;
+}
+
+// ---------------------------------------------------------------------
+// Taking / promoting checkpoints
+// ---------------------------------------------------------------------
+
+void CaoSinghalProtocol::take_tentative(const Trigger& trigger,
+                                        const std::vector<MrEntry>& mr,
+                                        Weight weight, bool as_initiator) {
+  PendingTentative pt;
+  pt.trigger = trigger;
+  pt.saved_R = effective_R();
+  pt.saved_sent = effective_sent();
+  pt.saved_old_csn = old_csn_;
+
+  Weight remaining = prop_cp(pt.saved_R, mr, trigger, weight);
+
+  pt.ref = ctx_.store->take(self(), ckpt::CkptKind::kTentative,
+                            csn_[static_cast<std::size_t>(self())],
+                            trigger.initiation(), ctx_.log->cursor(self()),
+                            ctx_.sim->now());
+  ++ctx_.stats->tentative_taken;
+  ++init_stats(trigger).tentative;
+
+  old_csn_ = csn_[static_cast<std::size_t>(self())];
+  // Mutables are superseded: their states precede this tentative and their
+  // dependencies were just propagated via effective_R.
+  discard_all_mutables(/*merge_back=*/false);
+  sent_ = false;
+  R_.reset();
+  pending_.push_back(pt);
+  schedule_pending_reap(trigger);
+
+  // The checkpoint data must reach stable storage before the reply /
+  // commit decision; the process itself keeps running (precopy, 5.2).
+  sim::SimTime done = start_stable_transfer();
+  if (as_initiator) {
+    ctx_.sim->schedule_at(done, [this, trigger, remaining]() {
+      bank_local_weight(trigger, remaining);
+    });
+  } else {
+    ctx_.sim->schedule_at(done, [this, trigger, remaining]() {
+      // Abort may have raced with the transfer; only reply if the
+      // tentative is still pending.
+      for (const PendingTentative& p : pending_) {
+        if (p.trigger == trigger) {
+          send_reply(trigger, remaining, false);
+          return;
+        }
+      }
+    });
+  }
+}
+
+void CaoSinghalProtocol::promote_mutable(std::size_t idx,
+                                         const std::vector<MrEntry>& mr,
+                                         Weight weight) {
+  MutableRec rec = mutables_[static_cast<std::size_t>(idx)];
+  const Trigger trigger = rec.trigger;
+
+  // Dependencies of the promoted state: everything recorded up to and
+  // including this mutable (older mutables are part of its state).
+  BitVec deps(static_cast<std::size_t>(ctx_.num_processes));
+  bool deps_sent = false;
+  for (std::size_t i = 0; i <= idx; ++i) {
+    deps.merge(mutables_[i].saved_R);
+    deps_sent = deps_sent || mutables_[i].saved_sent;
+  }
+
+  PendingTentative pt;
+  pt.trigger = trigger;
+  pt.ref = rec.ref;
+  pt.saved_R = deps;
+  pt.saved_sent = deps_sent;
+  pt.saved_old_csn = old_csn_;
+
+  Weight remaining = prop_cp(deps, mr, trigger, weight);
+
+  ctx_.store->promote_to_tentative(rec.ref, trigger.initiation(),
+                                   ctx_.sim->now());
+  ++ctx_.stats->mutable_promoted;
+  ckpt::InitiationStats& st = init_stats(trigger);
+  ++st.mutables_promoted;
+  ++st.tentative;  // it is now a tentative checkpoint of this initiation
+  old_csn_ = csn_[static_cast<std::size_t>(self())];
+
+  // Older mutables are consumed by the promotion (no merge back: their
+  // dependencies are inside the promoted state and were propagated).
+  for (std::size_t i = 0; i < idx; ++i) {
+    ctx_.store->discard(mutables_[i].ref);
+    ++ctx_.stats->mutable_discarded;
+    ++init_stats(mutables_[i].trigger).mutables_discarded;
+  }
+  mutables_.erase(mutables_.begin(),
+                  mutables_.begin() + static_cast<std::ptrdiff_t>(idx) + 1);
+  pending_.push_back(pt);
+  schedule_pending_reap(trigger);
+
+  // Promotion is the moment the checkpoint data crosses the wireless link.
+  sim::SimTime done = start_stable_transfer();
+  ctx_.sim->schedule_at(done, [this, trigger, remaining]() {
+    for (const PendingTentative& p : pending_) {
+      if (p.trigger == trigger) {
+        send_reply(trigger, remaining, false);
+        return;
+      }
+    }
+  });
+}
+
+void CaoSinghalProtocol::take_mutable(const Trigger& trigger) {
+  MutableRec rec;
+  rec.trigger = trigger;
+  rec.saved_R = R_;
+  rec.saved_sent = sent_;
+  rec.ref = ctx_.store->take(self(), ckpt::CkptKind::kMutable,
+                             csn_[static_cast<std::size_t>(self())],
+                             trigger.initiation(), ctx_.log->cursor(self()),
+                             ctx_.sim->now());
+  charge_mutable_save();
+  ++ctx_.stats->mutable_taken;
+  ++init_stats(trigger).mutables_taken;
+  mutables_.push_back(std::move(rec));
+  sent_ = false;
+  R_.reset();
+  MCK_TRACE("[t=%.3fms] P%d takes MUTABLE checkpoint for %s",
+            sim::to_milliseconds(ctx_.sim->now()), self(),
+            trigger.to_string().c_str());
+}
+
+// ---------------------------------------------------------------------
+// Replies and the initiator's termination detection (Section 3.3.4)
+// ---------------------------------------------------------------------
+
+void CaoSinghalProtocol::send_reply(const Trigger& trigger, Weight weight,
+                                    bool refused) {
+  if (trigger.pid == self()) {
+    // A request found its way back to the initiator; account locally.
+    MCK_ASSERT(!refused);
+    bank_local_weight(trigger, std::move(weight));
+    return;
+  }
+  auto rp = std::make_shared<ReplyPayload>();
+  rp->trigger = trigger;
+  rp->weight = std::move(weight);
+  rp->refused = refused;
+  if (!observed_failures_.empty()) {
+    rp->failed_observed = std::move(observed_failures_);
+    observed_failures_.clear();
+  }
+  if (opts_.failure_mode == FailureMode::kPartialCommit) {
+    // Report our checkpoint's dependency vector for the abort closure.
+    for (const PendingTentative& pt : pending_) {
+      if (pt.trigger == trigger) {
+        rp->deps = pt.saved_R;
+        break;
+      }
+    }
+  }
+  send_system(rt::MsgKind::kReply, trigger.pid, std::move(rp));
+  ++init_stats(trigger).replies;
+}
+
+void CaoSinghalProtocol::bank_local_weight(const Trigger& t, Weight w) {
+  if (!active_initiator_ || own_trigger_ != t) return;  // aborted meanwhile
+  acc_weight_.add(w);
+  self_weight_banked_ = self_weight_banked_ || true;
+  initiator_decide_commit();
+}
+
+void CaoSinghalProtocol::handle_reply(const rt::Message& m,
+                                      const ReplyPayload& p) {
+  if (!active_initiator_ || p.trigger != own_trigger_) return;  // stale
+  if (p.refused) {
+    initiator_abort();
+    return;
+  }
+  for (ProcessId f : p.failed_observed) {
+    if (std::find(init_failed_.begin(), init_failed_.end(), f) ==
+        init_failed_.end()) {
+      init_failed_.push_back(f);
+    }
+  }
+  if (p.deps.size() != 0) {
+    replier_deps_.emplace_back(m.src, p.deps);
+  }
+  acc_weight_.add(p.weight);
+  if (std::find(repliers_.begin(), repliers_.end(), m.src) ==
+      repliers_.end()) {
+    repliers_.push_back(m.src);
+  }
+  initiator_decide_commit();
+}
+
+void CaoSinghalProtocol::initiator_decide_commit() {
+  if (!active_initiator_ || !self_weight_banked_) return;
+  if (!acc_weight_.is_one()) return;
+
+  const Trigger t = own_trigger_;
+  ckpt::InitiationStats& st = init_stats(t);
+
+  // Failures observed by the (now fully returned) request wave. Weight
+  // one means no request or reply is in flight (Lemma 2), so the
+  // dependency reports are complete and the Kim-Park abort closure can
+  // be computed exactly.
+  util::BitVec abort_set;
+  if (!init_failed_.empty()) {
+    if (opts_.failure_mode != FailureMode::kPartialCommit) {
+      initiator_abort();
+      return;
+    }
+    abort_set = util::BitVec(static_cast<std::size_t>(ctx_.num_processes));
+    for (ProcessId f : init_failed_) {
+      abort_set.set(static_cast<std::size_t>(f));
+    }
+    // "Certainly, the initiator and other processes which depend on the
+    // failed process have to abort their checkpointing" [Section 3.6].
+    abort_set.set(static_cast<std::size_t>(self()));
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [pid, deps] : replier_deps_) {
+        if (abort_set.test(static_cast<std::size_t>(pid))) continue;
+        for (int q = 0; q < ctx_.num_processes; ++q) {
+          if (abort_set.test(static_cast<std::size_t>(q)) &&
+              deps.test(static_cast<std::size_t>(q))) {
+            abort_set.set(static_cast<std::size_t>(pid));
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    st.partial_commit = true;
+  }
+
+  st.committed_at = ctx_.sim->now();
+  MCK_TRACE("[t=%.3fms] P%d COMMITS %s%s (%u tentative, %u mutable, %u redundant)",
+            sim::to_milliseconds(ctx_.sim->now()), self(),
+            t.to_string().c_str(), st.partial_commit ? " (partial)" : "",
+            st.tentative, st.mutables_taken, st.mutables_discarded);
+
+  active_initiator_ = false;
+  self_weight_banked_ = false;
+  init_failed_.clear();
+  replier_deps_.clear();
+
+  // Second phase (Section 3.3.4 / 3.3.5).
+  const bool use_broadcast =
+      opts_.commit_mode == CommitMode::kBroadcast ||
+      (opts_.commit_mode == CommitMode::kHybrid &&
+       repliers_.size() > opts_.hybrid_threshold);
+  auto cp = std::make_shared<CommitPayload>();
+  cp->trigger = t;
+  cp->abort_set = abort_set;
+  if (use_broadcast) {
+    broadcast_system(rt::MsgKind::kCommit, cp);
+    st.commits += static_cast<std::uint64_t>(ctx_.num_processes - 1);
+  } else {
+    for (ProcessId p : repliers_) {
+      send_system(rt::MsgKind::kCommit, p, cp);
+      ++st.commits;
+    }
+  }
+  repliers_.clear();
+
+  // Local effect of the commit on the initiator itself.
+  handle_clear(t, /*is_commit=*/true, abort_set.size() ? &abort_set : nullptr);
+  if (on_initiation_done) on_initiation_done(t, true);
+}
+
+void CaoSinghalProtocol::initiator_abort() {
+  if (!active_initiator_ || abort_sent_) return;
+  const Trigger t = own_trigger_;
+  abort_sent_ = true;
+  active_initiator_ = false;
+  self_weight_banked_ = false;
+  repliers_.clear();
+  init_failed_.clear();
+  replier_deps_.clear();
+  observed_failures_.clear();
+
+  ckpt::InitiationStats& st = init_stats(t);
+  st.aborted_at = ctx_.sim->now();
+  auto ap = std::make_shared<AbortPayload>();
+  ap->trigger = t;
+  broadcast_system(rt::MsgKind::kAbort, ap);
+  st.aborts += static_cast<std::uint64_t>(ctx_.num_processes - 1);
+  handle_abort(t);
+  if (on_initiation_done) on_initiation_done(t, false);
+}
+
+// ---------------------------------------------------------------------
+// Receiving a checkpoint request (Section 3.3.2)
+// ---------------------------------------------------------------------
+
+void CaoSinghalProtocol::handle_request(const rt::Message& m,
+                                        const RequestPayload& p) {
+  // csn_i[j] := recv_csn (the request sender's own csn).
+  std::size_t j = static_cast<std::size_t>(m.src);
+  if (p.sender_csn > csn_[j]) csn_[j] = p.sender_csn;
+
+  // T_msg bookkeeping (Section 5.3): the synchronization phase of this
+  // initiation extends at least to now.
+  init_stats(p.trigger).last_request_at = ctx_.sim->now();
+
+  // A late request for an initiation whose commit/abort we already saw:
+  // answer (the weight is moot, its initiator has decided) but do not
+  // checkpoint.
+  if (terminated_.count(p.trigger.initiation()) != 0) {
+    ++init_stats(p.trigger).duplicate_requests;
+    send_reply(p.trigger, p.weight, false);
+    return;
+  }
+
+  // Section 3.1.3 / Fig. 4: the dependency was created before our current
+  // stable checkpoint — nothing to do. Under concurrent initiations the
+  // covering checkpoint must be *permanent* (or a tentative of this very
+  // initiation, which the commit would finalize): a tentative pending for
+  // a different initiation may still abort, and skipping based on it
+  // would leave the requester's committed line with an orphan.
+  if (opts_.req_csn_filter && old_csn_ > p.req_csn) {
+    bool covered = perm_csn_ > p.req_csn;
+    if (!covered) {
+      for (const PendingTentative& pt : pending_) {
+        if (pt.trigger == p.trigger &&
+            ctx_.store->get(pt.ref).csn > p.req_csn) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (covered) {
+      ++init_stats(p.trigger).duplicate_requests;
+      send_reply(p.trigger, p.weight, false);
+      return;
+    }
+  }
+
+  // Concurrent initiations (Section 3.5, "ignore" technique of [19]): an
+  // active initiator refuses foreign requests; the refused initiator
+  // aborts its checkpointing. Even with serialized scheduling this can
+  // fire under failures — an aborting initiator's first-hop requests can
+  // still be propagating when the next initiation starts.
+  if (active_initiator_ && p.trigger != own_trigger_) {
+    send_reply(p.trigger, p.weight, /*refused=*/true);
+    return;
+  }
+
+  cp_state_ = true;
+
+  if (p.trigger == own_trigger_) {
+    int idx = find_mutable(p.trigger);
+    if (idx >= 0) {
+      promote_mutable(static_cast<std::size_t>(idx), p.mr, p.weight);
+    } else {
+      // Already checkpointed for this initiation (Lemma 1).
+      ++init_stats(p.trigger).duplicate_requests;
+      send_reply(p.trigger, p.weight, false);
+    }
+  } else {
+    ++csn_[static_cast<std::size_t>(self())];
+    own_trigger_ = p.trigger;
+    take_tentative(p.trigger, p.mr, p.weight, /*as_initiator=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Receiving a computation message (Section 3.3.3)
+// ---------------------------------------------------------------------
+
+void CaoSinghalProtocol::handle_computation(const rt::Message& m) {
+  const CompPayload* p = m.payload_as<CompPayload>();
+  MCK_ASSERT(p != nullptr);
+  const std::size_t j = static_cast<std::size_t>(m.src);
+
+  if (p->csn > dep_csn_[j]) dep_csn_[j] = p->csn;
+
+  if (p->csn <= csn_[j]) {
+    R_.set(j);
+    process_computation(m);
+    return;
+  }
+
+  // Sender took a checkpoint before sending m.
+  if (p->trigger.valid() &&
+      csn_[static_cast<std::size_t>(p->trigger.pid)] >= p->trigger.inum) {
+    // We already know of (or acted for) this initiation — Condition 3.
+    csn_[j] = p->csn;
+    R_.set(j);
+    process_computation(m);
+    return;
+  }
+
+  csn_[j] = p->csn;
+
+  // Condition 1: sender inside a checkpointing process (trigger != NULL).
+  // Condition 2: we sent a message since our last checkpoint.
+  // Condition 3: we have not yet taken a checkpoint for this initiator.
+  if (p->trigger.valid() && sent_ && p->trigger != own_trigger_ &&
+      find_mutable(p->trigger) < 0) {
+    take_mutable(p->trigger);
+  }
+  if (p->trigger.valid() && !cp_state_) {
+    cp_state_ = true;
+    ++csn_[static_cast<std::size_t>(self())];
+    own_trigger_ = p->trigger;
+  }
+  R_.set(j);
+  process_computation(m);
+}
+
+// ---------------------------------------------------------------------
+// Second phase at participants (Section 3.3.4 / 3.3.5 / 3.6)
+// ---------------------------------------------------------------------
+
+void CaoSinghalProtocol::handle_clear(const Trigger& t, bool is_commit,
+                                      const util::BitVec* abort_set) {
+  terminated_.insert(t.initiation());
+  if (csn_[static_cast<std::size_t>(t.pid)] < t.inum) {
+    csn_[static_cast<std::size_t>(t.pid)] = t.inum;
+  }
+
+  bool had_effect = false;
+
+  if (is_commit) {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].trigger != t) continue;
+      // Kim-Park partial commit: abort instead if we (or anything we
+      // depend on) sit in the abort closure.
+      bool must_abort = false;
+      if (abort_set != nullptr) {
+        must_abort = abort_set->test(static_cast<std::size_t>(self()));
+        if (!must_abort) {
+          for (std::size_t q = 0; q < abort_set->size(); ++q) {
+            if (abort_set->test(q) && pending_[i].saved_R.test(q)) {
+              must_abort = true;
+              break;
+            }
+          }
+        }
+      }
+      if (must_abort) {
+        PendingTentative pt = pending_[i];
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        ctx_.store->discard(pt.ref);
+        R_.merge(pt.saved_R);
+        sent_ = sent_ || pt.saved_sent;
+        old_csn_ = pt.saved_old_csn;
+        ++init_stats(t).participants_aborted;
+        had_effect = true;
+        break;
+      }
+      const ckpt::CheckpointRecord& rec = ctx_.store->get(pending_[i].ref);
+      ctx_.store->make_permanent(pending_[i].ref, ctx_.sim->now());
+      ++ctx_.stats->permanent_made;
+      if (rec.csn > perm_csn_) perm_csn_ = rec.csn;
+      init_stats(t).line_updates.emplace_back(self(), rec.event_cursor);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      // "P1 discards C1,2 when it makes checkpoint C1,1 permanent":
+      // remaining mutables (all newer than this tentative) go away, their
+      // dependency info folding back into the current interval.
+      discard_all_mutables(/*merge_back=*/true);
+      had_effect = true;
+      break;
+    }
+  }
+
+  // Redundant mutable checkpoints for this initiation are discarded.
+  if (find_mutable(t) >= 0) {
+    discard_mutables_matching(t, /*merge_back=*/true);
+    had_effect = true;
+  }
+
+  if (own_trigger_ == t && cp_state_) {
+    cp_state_ = false;
+    had_effect = true;
+  }
+
+  // Update approach: relay the termination along the send history.
+  if (opts_.commit_mode != CommitMode::kBroadcast && had_effect &&
+      !cp_send_history_.empty()) {
+    auto clr = std::make_shared<ClearPayload>();
+    clr->trigger = t;
+    std::vector<ProcessId> hist;
+    hist.swap(cp_send_history_);
+    for (ProcessId dst : hist) {
+      if (dst == self() || dst == t.pid) continue;
+      send_system(rt::MsgKind::kControl, dst, clr);
+    }
+  } else if (opts_.commit_mode == CommitMode::kBroadcast) {
+    cp_send_history_.clear();
+  }
+}
+
+void CaoSinghalProtocol::handle_commit(const Trigger& t,
+                                       const util::BitVec* abort_set) {
+  handle_clear(t, /*is_commit=*/true,
+               (abort_set && abort_set->size()) ? abort_set : nullptr);
+}
+
+void CaoSinghalProtocol::handle_abort(const Trigger& t) {
+  terminated_.insert(t.initiation());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].trigger != t) continue;
+    PendingTentative pt = pending_[i];
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    ctx_.store->discard(pt.ref);
+    // Restore the dependency state of the interval the checkpoint would
+    // have ended (Section 3.6).
+    R_.merge(pt.saved_R);
+    sent_ = sent_ || pt.saved_sent;
+    old_csn_ = pt.saved_old_csn;
+    break;
+  }
+  if (find_mutable(t) >= 0) {
+    discard_mutables_matching(t, /*merge_back=*/true);
+  }
+  if (own_trigger_ == t && cp_state_) cp_state_ = false;
+}
+
+void CaoSinghalProtocol::handle_system(const rt::Message& m) {
+  switch (m.kind) {
+    case rt::MsgKind::kRequest: {
+      const RequestPayload* p = m.payload_as<RequestPayload>();
+      MCK_ASSERT(p != nullptr);
+      handle_request(m, *p);
+      break;
+    }
+    case rt::MsgKind::kReply: {
+      const ReplyPayload* p = m.payload_as<ReplyPayload>();
+      MCK_ASSERT(p != nullptr);
+      handle_reply(m, *p);
+      break;
+    }
+    case rt::MsgKind::kCommit: {
+      const CommitPayload* p = m.payload_as<CommitPayload>();
+      MCK_ASSERT(p != nullptr);
+      handle_commit(p->trigger, &p->abort_set);
+      break;
+    }
+    case rt::MsgKind::kAbort: {
+      const AbortPayload* p = m.payload_as<AbortPayload>();
+      MCK_ASSERT(p != nullptr);
+      handle_abort(p->trigger);
+      break;
+    }
+    case rt::MsgKind::kControl: {
+      const ClearPayload* p = m.payload_as<ClearPayload>();
+      MCK_ASSERT(p != nullptr);
+      handle_clear(p->trigger, /*is_commit=*/false);
+      break;
+    }
+    default:
+      MCK_ASSERT_MSG(false, "unexpected system message");
+  }
+}
+
+}  // namespace mck::core

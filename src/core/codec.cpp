@@ -1,0 +1,187 @@
+#include "core/codec.hpp"
+
+#include "util/assert.hpp"
+
+namespace mck::core {
+
+namespace {
+
+void put_trigger(WireWriter& w, const Trigger& t) {
+  w.u32(static_cast<std::uint32_t>(t.pid));
+  w.u32(t.inum);
+}
+
+Trigger get_trigger(WireReader& r) {
+  Trigger t;
+  t.pid = static_cast<ProcessId>(r.u32());
+  t.inum = r.u32();
+  return t;
+}
+
+void put_weight(WireWriter& w, const util::Weight& weight) {
+  w.u64(weight.integer_part());
+  const auto& frac = weight.raw_fraction();
+  MCK_ASSERT(frac.size() <= UINT16_MAX);
+  w.u16(static_cast<std::uint16_t>(frac.size()));
+  for (std::uint64_t limb : frac) w.u64(limb);
+}
+
+util::Weight get_weight(WireReader& r) {
+  std::uint64_t integer = r.u64();
+  std::uint16_t n = r.u16();
+  std::vector<std::uint64_t> frac;
+  frac.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) frac.push_back(r.u64());
+  return util::Weight::from_raw(integer, std::move(frac));
+}
+
+void put_bitvec(WireWriter& w, const util::BitVec& v) {
+  MCK_ASSERT(v.size() <= UINT16_MAX);
+  w.u16(static_cast<std::uint16_t>(v.size()));
+  std::uint8_t acc = 0;
+  int bits = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v.test(i)) acc |= static_cast<std::uint8_t>(1u << bits);
+    if (++bits == 8) {
+      w.u8(acc);
+      acc = 0;
+      bits = 0;
+    }
+  }
+  if (bits > 0) w.u8(acc);
+}
+
+util::BitVec get_bitvec(WireReader& r) {
+  std::uint16_t n = r.u16();
+  util::BitVec v(n);
+  std::uint8_t acc = 0;
+  int bits = 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bits == 8) {
+      acc = r.u8();
+      bits = 0;
+    }
+    if (!r.ok()) return util::BitVec(n);
+    if (acc & (1u << bits)) v.set(i);
+    ++bits;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const rt::Payload& payload) {
+  WireWriter w;
+  if (const auto* p = dynamic_cast<const CompPayload*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireTag::kComp));
+    w.u32(p->csn);
+    put_trigger(w, p->trigger);
+  } else if (const auto* p = dynamic_cast<const RequestPayload*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireTag::kRequest));
+    MCK_ASSERT(p->mr.size() <= UINT16_MAX);
+    w.u16(static_cast<std::uint16_t>(p->mr.size()));
+    for (const MrEntry& e : p->mr) {
+      w.u32(e.csn);
+      w.u8(e.requested);
+    }
+    w.u32(p->sender_csn);
+    put_trigger(w, p->trigger);
+    w.u32(p->req_csn);
+    put_weight(w, p->weight);
+  } else if (const auto* p = dynamic_cast<const ReplyPayload*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireTag::kReply));
+    put_trigger(w, p->trigger);
+    put_weight(w, p->weight);
+    w.u8(p->refused ? 1 : 0);
+    MCK_ASSERT(p->failed_observed.size() <= UINT16_MAX);
+    w.u16(static_cast<std::uint16_t>(p->failed_observed.size()));
+    for (ProcessId f : p->failed_observed) w.u32(static_cast<std::uint32_t>(f));
+    put_bitvec(w, p->deps);
+  } else if (const auto* p = dynamic_cast<const CommitPayload*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireTag::kCommit));
+    put_trigger(w, p->trigger);
+    put_bitvec(w, p->abort_set);
+  } else if (const auto* p = dynamic_cast<const AbortPayload*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireTag::kAbort));
+    put_trigger(w, p->trigger);
+  } else if (const auto* p = dynamic_cast<const ClearPayload*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireTag::kClear));
+    put_trigger(w, p->trigger);
+  } else {
+    return {};
+  }
+  return w.take();
+}
+
+std::shared_ptr<rt::Payload> decode(const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  std::uint8_t tag = r.u8();
+  std::shared_ptr<rt::Payload> out;
+  switch (static_cast<WireTag>(tag)) {
+    case WireTag::kComp: {
+      auto p = std::make_shared<CompPayload>();
+      p->csn = r.u32();
+      p->trigger = get_trigger(r);
+      out = p;
+      break;
+    }
+    case WireTag::kRequest: {
+      auto p = std::make_shared<RequestPayload>();
+      std::uint16_t n = r.u16();
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+        MrEntry e;
+        e.csn = r.u32();
+        e.requested = r.u8();
+        p->mr.push_back(e);
+      }
+      p->sender_csn = r.u32();
+      p->trigger = get_trigger(r);
+      p->req_csn = r.u32();
+      p->weight = get_weight(r);
+      out = p;
+      break;
+    }
+    case WireTag::kReply: {
+      auto p = std::make_shared<ReplyPayload>();
+      p->trigger = get_trigger(r);
+      p->weight = get_weight(r);
+      p->refused = r.u8() != 0;
+      std::uint16_t n = r.u16();
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+        p->failed_observed.push_back(static_cast<ProcessId>(r.u32()));
+      }
+      p->deps = get_bitvec(r);
+      out = p;
+      break;
+    }
+    case WireTag::kCommit: {
+      auto p = std::make_shared<CommitPayload>();
+      p->trigger = get_trigger(r);
+      p->abort_set = get_bitvec(r);
+      out = p;
+      break;
+    }
+    case WireTag::kAbort: {
+      auto p = std::make_shared<AbortPayload>();
+      p->trigger = get_trigger(r);
+      out = p;
+      break;
+    }
+    case WireTag::kClear: {
+      auto p = std::make_shared<ClearPayload>();
+      p->trigger = get_trigger(r);
+      out = p;
+      break;
+    }
+    default:
+      return nullptr;
+  }
+  if (!r.done()) return nullptr;  // truncated or trailing garbage
+  return out;
+}
+
+std::uint64_t wire_size(const rt::Payload& payload) {
+  return kLinkHeaderBytes + encode(payload).size();
+}
+
+}  // namespace mck::core

@@ -1,0 +1,72 @@
+// Wire payloads of the mutable-checkpoint algorithm (Section 3.3).
+#pragma once
+
+#include <vector>
+
+#include "core/trigger.hpp"
+#include "rt/message.hpp"
+#include "util/bitvec.hpp"
+#include "util/types.hpp"
+#include "util/weight.hpp"
+
+namespace mck::core {
+
+/// Piggyback on every computation message: the sender's csn[self], plus
+/// its trigger when it is inside a checkpointing process (cp_state = 1).
+struct CompPayload final : rt::Payload {
+  Csn csn = 0;
+  Trigger trigger;  // invalid (= NULL in the paper) when cp_state was 0
+};
+
+/// One slot of the MR structure carried by checkpoint requests: what the
+/// request path collectively knows about P_k — the highest csn anyone on
+/// the path expects from P_k, and whether a request has been sent to P_k.
+struct MrEntry {
+  Csn csn = 0;
+  std::uint8_t requested = 0;  // the paper's MR[k].R
+};
+
+struct RequestPayload final : rt::Payload {
+  std::vector<MrEntry> mr;   // merged knowledge along the request path
+  Csn sender_csn = 0;        // csn_j[j] of the request sender (recv_csn)
+  Trigger trigger;           // msg_trigger: the initiation this belongs to
+  Csn req_csn = 0;           // csn_j[i]: what the sender expects of us
+  util::Weight weight;       // portion of the initiator's weight
+};
+
+struct ReplyPayload final : rt::Payload {
+  Trigger trigger;
+  util::Weight weight;
+  bool refused = false;  // concurrent-initiation refusal (Section 3.5)
+
+  /// Failed processes observed while propagating requests (Section 3.6:
+  /// "some processes that try to communicate with it get to know of the
+  /// failure"). Weight is returned normally; the initiator decides.
+  std::vector<ProcessId> failed_observed;
+
+  /// The replier's dependency vector at its checkpoint, reported so the
+  /// initiator can compute the Kim-Park partial-commit abort closure.
+  /// Empty under FailureMode::kAbortAll.
+  util::BitVec deps;
+};
+
+struct CommitPayload final : rt::Payload {
+  Trigger trigger;
+
+  /// Kim-Park partial commit [18]: processes in this set must abort their
+  /// tentative checkpoints (they transitively depend on a failed
+  /// process); everybody else commits. Empty = plain full commit.
+  util::BitVec abort_set;
+};
+
+struct AbortPayload final : rt::Payload {
+  Trigger trigger;
+};
+
+/// Update-approach (Section 3.3.5) cp_state-clearing notification, sent
+/// along the "history of the processes to which it has sent messages".
+struct ClearPayload final : rt::Payload {
+  Trigger trigger;
+};
+
+}  // namespace mck::core

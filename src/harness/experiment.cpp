@@ -1,0 +1,143 @@
+#include "harness/experiment.hpp"
+
+#include <memory>
+
+#include "util/assert.hpp"
+#include "workload/traffic.hpp"
+
+namespace mck::harness {
+
+void RunResult::merge(const RunResult& o) {
+  initiations += o.initiations;
+  committed += o.committed;
+  aborted += o.aborted;
+  tentative_per_init.merge(o.tentative_per_init);
+  mutable_per_init.merge(o.mutable_per_init);
+  redundant_mutable_per_init.merge(o.redundant_mutable_per_init);
+  sys_msgs_per_init.merge(o.sys_msgs_per_init);
+  commit_delay_s.merge(o.commit_delay_s);
+  t_msg_s.merge(o.t_msg_s);
+  t_data_s.merge(o.t_data_s);
+  blocked_s_per_init.merge(o.blocked_s_per_init);
+  duplicate_requests_per_init.merge(o.duplicate_requests_per_init);
+  comp_msgs += o.comp_msgs;
+  forced_checkpoints += o.forced_checkpoints;
+  consistent = consistent && o.consistent;
+  orphans += o.orphans;
+  lines_checked += o.lines_checked;
+
+  for (int k = 0; k < 8; ++k) {
+    stats.msgs_sent[k] += o.stats.msgs_sent[k];
+    stats.bytes_sent[k] += o.stats.bytes_sent[k];
+  }
+  stats.deliveries += o.stats.deliveries;
+  stats.tentative_taken += o.stats.tentative_taken;
+  stats.mutable_taken += o.stats.mutable_taken;
+  stats.mutable_promoted += o.stats.mutable_promoted;
+  stats.mutable_discarded += o.stats.mutable_discarded;
+  stats.permanent_made += o.stats.permanent_made;
+  stats.forced_by_message += o.stats.forced_by_message;
+  stats.checkpoint_cascades += o.stats.checkpoint_cascades;
+  stats.pending_reaped += o.stats.pending_reaped;
+  stats.blocked_time_total += o.stats.blocked_time_total;
+  stats.blocked_sends_deferred += o.stats.blocked_sends_deferred;
+  stats.mutable_overhead_time += o.stats.mutable_overhead_time;
+
+  stats.energy.ensure(o.stats.energy.per_process.size());
+  for (std::size_t i = 0; i < o.stats.energy.per_process.size(); ++i) {
+    const stats::ProcessEnergy& src = o.stats.energy.per_process[i];
+    stats::ProcessEnergy& dst = stats.energy.per_process[i];
+    dst.tx_comp_msgs += src.tx_comp_msgs;
+    dst.tx_sys_msgs += src.tx_sys_msgs;
+    dst.rx_comp_msgs += src.rx_comp_msgs;
+    dst.rx_sys_msgs += src.rx_sys_msgs;
+    dst.tx_bytes += src.tx_bytes;
+    dst.rx_bytes += src.rx_bytes;
+    dst.bulk_bytes += src.bulk_bytes;
+  }
+}
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  System system(config.sys);
+
+  // Workload.
+  workload::SendFn send = [&system](ProcessId src, ProcessId dst) {
+    system.send(src, dst);
+  };
+  std::unique_ptr<workload::PointToPointWorkload> p2p;
+  std::unique_ptr<workload::GroupWorkload> grp;
+  if (config.workload == WorkloadKind::kPointToPoint) {
+    p2p = std::make_unique<workload::PointToPointWorkload>(
+        system.simulator(), system.rng(), system.n(), config.rate, send);
+    p2p->start(config.horizon);
+  } else {
+    grp = std::make_unique<workload::GroupWorkload>(
+        system.simulator(), system.rng(), system.n(), config.groups,
+        config.rate, config.group_ratio, send);
+    grp->start(config.horizon);
+  }
+
+  // Checkpoint initiations.
+  SchedulerOptions sched_opts;
+  sched_opts.interval = config.ckpt_interval;
+  sched_opts.serialize = config.serialize_initiations;
+  CheckpointScheduler scheduler(system, sched_opts);
+  scheduler.start(config.horizon);
+
+  // Run to quiescence (nothing schedules beyond the horizon except
+  // in-flight coordinations, which terminate — Theorem 2).
+  system.simulator().run_until(sim::kTimeNever);
+
+  // Aggregate.
+  RunResult result;
+  result.stats = system.stats();
+  result.comp_msgs =
+      system.stats().msgs_sent[static_cast<int>(rt::MsgKind::kComputation)];
+  result.forced_checkpoints = system.stats().forced_by_message;
+
+  for (const ckpt::InitiationStats* st : system.tracker().in_order()) {
+    ++result.initiations;
+    if (st->aborted()) {
+      ++result.aborted;
+      continue;
+    }
+    if (!st->committed()) continue;  // cut off by the horizon
+    ++result.committed;
+    result.tentative_per_init.add(static_cast<double>(st->tentative));
+    result.mutable_per_init.add(static_cast<double>(st->mutables_taken));
+    // Redundant = never turned into a tentative checkpoint (Section 5).
+    result.redundant_mutable_per_init.add(
+        static_cast<double>(st->mutables_taken - st->mutables_promoted));
+    result.sys_msgs_per_init.add(static_cast<double>(
+        st->requests + st->replies + st->commits + st->aborts));
+    result.commit_delay_s.add(
+        sim::to_seconds(st->committed_at - st->started_at));
+    result.t_msg_s.add(sim::to_seconds(st->t_msg()));
+    result.t_data_s.add(sim::to_seconds(st->t_data()));
+    result.blocked_s_per_init.add(sim::to_seconds(st->blocked_time));
+    result.duplicate_requests_per_init.add(
+        static_cast<double>(st->duplicate_requests));
+  }
+
+  if (has_committed_lines(config.sys.algorithm)) {
+    ckpt::CheckResult check = system.check_consistency();
+    result.consistent = check.consistent;
+    result.orphans = check.orphans.size();
+    result.lines_checked = check.lines_checked;
+    MCK_ASSERT_MSG(check.consistent,
+                   "committed global checkpoint line has orphan messages");
+  }
+  return result;
+}
+
+RunResult run_replicated(ExperimentConfig config, int reps) {
+  RunResult total;
+  for (int r = 0; r < reps; ++r) {
+    config.sys.seed = config.sys.seed + 1;
+    RunResult one = run_experiment(config);
+    total.merge(one);
+  }
+  return total;
+}
+
+}  // namespace mck::harness

@@ -1,0 +1,64 @@
+// Experiment runner: builds a System, drives a workload plus the
+// checkpoint scheduler to a horizon, and aggregates the paper's metrics
+// (Figs 5-6, Table 1). Fig/Table benches sweep parameters over this.
+#pragma once
+
+#include <string>
+
+#include "harness/scheduler.hpp"
+#include "harness/system.hpp"
+#include "stats/welford.hpp"
+
+namespace mck::harness {
+
+enum class WorkloadKind { kPointToPoint, kGroup };
+
+struct ExperimentConfig {
+  SystemOptions sys;
+  WorkloadKind workload = WorkloadKind::kPointToPoint;
+  /// Per-process computation-message send rate (msgs/s); for group
+  /// workloads this is the intragroup rate.
+  double rate = 0.1;
+  int groups = 4;
+  double group_ratio = 1000.0;  // intragroup / intergroup rate, Fig. 6
+  sim::SimTime ckpt_interval = sim::seconds(900);
+  sim::SimTime horizon = sim::seconds(4 * 3600);
+  bool serialize_initiations = true;
+};
+
+struct RunResult {
+  rt::RunStats stats;
+
+  std::uint64_t initiations = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+
+  // Per committed initiation (the units of Figs 5-6).
+  stats::Welford tentative_per_init;
+  stats::Welford mutable_per_init;
+  stats::Welford redundant_mutable_per_init;
+  stats::Welford sys_msgs_per_init;
+  stats::Welford commit_delay_s;   // output-commit delay (Table 1)
+  // T_ch decomposition (Section 5.3): synchronization vs transfer time.
+  stats::Welford t_msg_s;
+  stats::Welford t_data_s;
+  stats::Welford blocked_s_per_init;
+  stats::Welford duplicate_requests_per_init;
+
+  // Whole-run.
+  std::uint64_t comp_msgs = 0;
+  std::uint64_t forced_checkpoints = 0;  // csn schemes / EJZ / uncoordinated
+  bool consistent = true;
+  std::size_t orphans = 0;
+  std::size_t lines_checked = 0;
+
+  /// Merges another repetition (different seed) into this aggregate.
+  void merge(const RunResult& o);
+};
+
+RunResult run_experiment(const ExperimentConfig& config);
+
+/// Runs `reps` repetitions with seeds seed, seed+1, ... and merges.
+RunResult run_replicated(ExperimentConfig config, int reps);
+
+}  // namespace mck::harness

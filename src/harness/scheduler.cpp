@@ -1,0 +1,48 @@
+#include "harness/scheduler.hpp"
+
+namespace mck::harness {
+
+void CheckpointScheduler::start(sim::SimTime horizon) {
+  horizon_ = horizon;
+  for (ProcessId p = 0; p < sys_.n(); ++p) {
+    sim::SimTime first = opts_.interval;
+    if (opts_.stagger_start) {
+      first = opts_.interval / sys_.n() * (p + 1) +
+              sys_.rng().exponential(opts_.interval / (4 * sys_.n()));
+    }
+    schedule_at(p, first);
+  }
+}
+
+void CheckpointScheduler::schedule_at(ProcessId p, sim::SimTime at) {
+  if (at > horizon_) return;
+  sys_.simulator().schedule_at(at, [this, p]() { fire(p); });
+}
+
+void CheckpointScheduler::fire(ProcessId p) {
+  sim::SimTime now = sys_.simulator().now();
+  // Interval rule: if p checkpointed recently (e.g. forced by another
+  // initiation), push the scheduled checkpoint out.
+  sim::SimTime last = sys_.store().last_stable_taken_at(p);
+  if (last > 0 && now - last < opts_.interval) {
+    schedule_at(p, last + opts_.interval);
+    return;
+  }
+  if (opts_.serialize && sys_.any_coordination_active()) {
+    ++retries_;
+    schedule_at(p, now + opts_.retry_delay);
+    return;
+  }
+  if (sys_.cellular() != nullptr && sys_.cellular()->is_disconnected(p)) {
+    // A disconnected MH does not start checkpointing on its own; its
+    // scheduled checkpoint waits for reconnection.
+    ++retries_;
+    schedule_at(p, now + opts_.retry_delay);
+    return;
+  }
+  ++fired_;
+  sys_.initiate(p);
+  schedule_at(p, now + opts_.interval);
+}
+
+}  // namespace mck::harness

@@ -1,0 +1,164 @@
+#include "harness/system.hpp"
+
+#include "util/assert.hpp"
+
+namespace mck::harness {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kCaoSinghal: return "cao-singhal";
+    case Algorithm::kKooToueg: return "koo-toueg";
+    case Algorithm::kElnozahy: return "elnozahy";
+    case Algorithm::kChandyLamport: return "chandy-lamport";
+    case Algorithm::kLaiYang: return "lai-yang";
+    case Algorithm::kSimpleScheme: return "simple-scheme";
+    case Algorithm::kRevisedScheme: return "revised-scheme";
+    case Algorithm::kUncoordinated: return "uncoordinated";
+  }
+  return "?";
+}
+
+bool has_committed_lines(Algorithm a) {
+  switch (a) {
+    case Algorithm::kCaoSinghal:
+    case Algorithm::kKooToueg:
+    case Algorithm::kElnozahy:
+    case Algorithm::kChandyLamport:
+    case Algorithm::kLaiYang:
+      return true;
+    default:
+      return false;
+  }
+}
+
+System::System(SystemOptions opts)
+    : opts_(opts),
+      rng_(opts.seed),
+      log_(opts.num_processes),
+      store_(opts.num_processes) {
+  MCK_ASSERT(opts_.num_processes >= 2);
+
+  // Coordinated protocols reclaim superseded permanent checkpoints;
+  // uncoordinated ones must hoard them for the rollback search.
+  store_.set_auto_gc(has_committed_lines(opts_.algorithm));
+
+  if (opts_.transport == TransportKind::kLan) {
+    lan_ = std::make_unique<net::LanTransport>(sim_, opts_.num_processes,
+                                               opts_.lan, &rng_);
+  } else {
+    cell_ = std::make_unique<mobile::CellularTransport>(
+        sim_, opts_.num_processes, opts_.cellular);
+  }
+
+  protos_.reserve(static_cast<std::size_t>(opts_.num_processes));
+  for (ProcessId p = 0; p < opts_.num_processes; ++p) {
+    std::unique_ptr<rt::CheckpointProtocol> proto;
+    switch (opts_.algorithm) {
+      case Algorithm::kCaoSinghal:
+        proto = std::make_unique<core::CaoSinghalProtocol>(opts_.cs);
+        break;
+      case Algorithm::kKooToueg:
+        proto = std::make_unique<baselines::KooTouegProtocol>();
+        break;
+      case Algorithm::kElnozahy:
+        proto = std::make_unique<baselines::ElnozahyProtocol>();
+        break;
+      case Algorithm::kChandyLamport:
+        proto = std::make_unique<baselines::ChandyLamportProtocol>();
+        break;
+      case Algorithm::kLaiYang:
+        proto = std::make_unique<baselines::LaiYangProtocol>();
+        break;
+      case Algorithm::kSimpleScheme:
+        proto = std::make_unique<baselines::CsnSchemeProtocol>(
+            baselines::CsnSchemeKind::kSimple);
+        break;
+      case Algorithm::kRevisedScheme:
+        proto = std::make_unique<baselines::CsnSchemeProtocol>(
+            baselines::CsnSchemeKind::kRevised);
+        break;
+      case Algorithm::kUncoordinated:
+        proto = std::make_unique<baselines::UncoordinatedProtocol>();
+        break;
+    }
+
+    rt::ProcessContext ctx;
+    ctx.self = p;
+    ctx.num_processes = opts_.num_processes;
+    ctx.sim = &sim_;
+    ctx.net = &transport();
+    ctx.log = &log_;
+    ctx.store = &store_;
+    ctx.tracker = &tracker_;
+    ctx.stats = &stats_;
+    ctx.timing = &opts_.timing;
+    proto->bind(ctx);
+    protos_.push_back(std::move(proto));
+  }
+
+  // Per-algorithm post-bind initialization + delivery sinks.
+  for (ProcessId p = 0; p < opts_.num_processes; ++p) {
+    rt::CheckpointProtocol* raw = protos_[static_cast<std::size_t>(p)].get();
+    switch (opts_.algorithm) {
+      case Algorithm::kCaoSinghal:
+        static_cast<core::CaoSinghalProtocol*>(raw)->start();
+        break;
+      case Algorithm::kKooToueg:
+        static_cast<baselines::KooTouegProtocol*>(raw)->start();
+        break;
+      case Algorithm::kElnozahy:
+        static_cast<baselines::ElnozahyProtocol*>(raw)->start();
+        break;
+      case Algorithm::kChandyLamport:
+        static_cast<baselines::ChandyLamportProtocol*>(raw)->start();
+        break;
+      case Algorithm::kLaiYang:
+        static_cast<baselines::LaiYangProtocol*>(raw)->start();
+        break;
+      case Algorithm::kSimpleScheme:
+      case Algorithm::kRevisedScheme:
+        static_cast<baselines::CsnSchemeProtocol*>(raw)->start();
+        break;
+      case Algorithm::kUncoordinated:
+        static_cast<baselines::UncoordinatedProtocol*>(raw)->start();
+        break;
+    }
+    auto sink = [raw](const rt::Message& m) { raw->on_deliver(m); };
+    if (lan_) {
+      lan_->set_sink(p, sink);
+    } else {
+      cell_->set_sink(p, sink);
+    }
+  }
+}
+
+rt::Transport& System::transport() {
+  if (lan_) return *lan_;
+  return *cell_;
+}
+
+core::CaoSinghalProtocol& System::cao(ProcessId p) {
+  MCK_ASSERT(opts_.algorithm == Algorithm::kCaoSinghal);
+  return *static_cast<core::CaoSinghalProtocol*>(
+      protos_[static_cast<std::size_t>(p)].get());
+}
+
+baselines::KooTouegProtocol& System::koo(ProcessId p) {
+  MCK_ASSERT(opts_.algorithm == Algorithm::kKooToueg);
+  return *static_cast<baselines::KooTouegProtocol*>(
+      protos_[static_cast<std::size_t>(p)].get());
+}
+
+bool System::any_coordination_active() const {
+  for (const auto& p : protos_) {
+    if (p->coordination_active()) return true;
+  }
+  return false;
+}
+
+ckpt::CheckResult System::check_consistency() const {
+  ckpt::ConsistencyChecker checker(log_, tracker_);
+  return checker.check_all();
+}
+
+}  // namespace mck::harness

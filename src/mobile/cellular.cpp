@@ -1,0 +1,160 @@
+#include "mobile/cellular.hpp"
+
+#include "util/assert.hpp"
+
+namespace mck::mobile {
+
+CellularTransport::CellularTransport(sim::Simulator& sim, int num_processes,
+                                     CellularParams params)
+    : sim_(sim),
+      params_(params),
+      sinks_(static_cast<std::size_t>(num_processes)),
+      mss_of_(static_cast<std::size_t>(num_processes)),
+      disconnected_(static_cast<std::size_t>(num_processes), 0),
+      buffer_(static_cast<std::size_t>(num_processes)),
+      comp_fifo_(num_processes),
+      sys_fifo_(num_processes),
+      cell_medium_free_(static_cast<std::size_t>(params.num_mss), 0) {
+  MCK_ASSERT(num_processes > 0 && params_.num_mss > 0);
+  // MHs initially spread round-robin over the cells.
+  for (int p = 0; p < num_processes; ++p) {
+    mss_of_[static_cast<std::size_t>(p)] = p % params_.num_mss;
+  }
+}
+
+void CellularTransport::set_sink(ProcessId pid, rt::DeliverFn fn) {
+  MCK_ASSERT(pid >= 0 && pid < num_processes());
+  sinks_[static_cast<std::size_t>(pid)] = std::move(fn);
+}
+
+sim::SimTime CellularTransport::wireless_tx(std::uint64_t bytes) const {
+  return sim::from_seconds(static_cast<double>(bytes) * 8.0 /
+                           params_.wireless_bps);
+}
+
+sim::SimTime CellularTransport::wired_tx(std::uint64_t bytes) const {
+  return sim::from_seconds(static_cast<double>(bytes) * 8.0 /
+                           params_.wired_bps);
+}
+
+sim::SimTime CellularTransport::path_delay(MssId from, MssId to,
+                                           std::uint64_t bytes) const {
+  sim::SimTime d = wireless_tx(bytes);  // MH -> MSS uplink
+  if (from != to) d += params_.wired_latency + wired_tx(bytes);
+  d += wireless_tx(bytes);  // MSS -> MH downlink
+  return d;
+}
+
+void CellularTransport::launch(rt::Message msg) {
+  MCK_ASSERT(msg.dst >= 0 && msg.dst < num_processes());
+  if (msg.kind == rt::MsgKind::kComputation) {
+    comp_fifo_.stamp(msg);
+  } else {
+    sys_fifo_.stamp(msg);
+  }
+  MssId src_mss = mss_of_[static_cast<std::size_t>(msg.src)];
+  MssId dst_mss = mss_of_[static_cast<std::size_t>(msg.dst)];
+  sim::SimTime at = sim_.now() + path_delay(src_mss, dst_mss, msg.size_bytes);
+  sim_.schedule_at(at, [this, m = std::move(msg), dst_mss]() mutable {
+    arrive(std::move(m), dst_mss);
+  });
+}
+
+void CellularTransport::send(rt::Message msg) { launch(std::move(msg)); }
+
+void CellularTransport::broadcast(rt::Message msg) {
+  // The initiator's MSS floods the wired backbone; each MSS transmits in
+  // its own cell.
+  for (ProcessId p = 0; p < num_processes(); ++p) {
+    if (p == msg.src) continue;
+    rt::Message copy = msg;
+    copy.dst = p;
+    launch(std::move(copy));
+  }
+}
+
+void CellularTransport::arrive(rt::Message msg, MssId routed_to) {
+  ProcessId dst = msg.dst;
+  MssId cur = mss_of_[static_cast<std::size_t>(dst)];
+  if (!is_disconnected(dst) && cur != routed_to) {
+    // The MH moved while the message was in flight: the old MSS forwards
+    // it to the new one (the rerouting cost of Section 1).
+    ++forwarded_;
+    sim::SimTime at = sim_.now() + params_.forward_penalty +
+                      params_.wired_latency + wired_tx(msg.size_bytes) +
+                      wireless_tx(msg.size_bytes);
+    sim_.schedule_at(at, [this, m = std::move(msg), cur]() mutable {
+      arrive(std::move(m), cur);
+    });
+    return;
+  }
+
+  net::FifoSequencer& fifo =
+      msg.kind == rt::MsgKind::kComputation ? comp_fifo_ : sys_fifo_;
+  for (rt::Message& m : fifo.arrive(std::move(msg))) {
+    if (is_disconnected(m.dst) && m.kind == rt::MsgKind::kComputation) {
+      // Buffered at the MSS until reconnection (Section 2.2).
+      ++buffered_total_;
+      buffer_[static_cast<std::size_t>(m.dst)].push_back(std::move(m));
+    } else {
+      hand_to_process(std::move(m));
+    }
+  }
+}
+
+void CellularTransport::hand_to_process(rt::Message msg) {
+  // Deliver via an event so protocol handlers never re-enter each other.
+  sim_.schedule_after(0, [this, m = std::move(msg)]() {
+    MCK_ASSERT_MSG(static_cast<bool>(sinks_[static_cast<std::size_t>(m.dst)]),
+                   "no delivery sink registered");
+    sinks_[static_cast<std::size_t>(m.dst)](m);
+  });
+}
+
+sim::SimTime CellularTransport::transfer_bulk(ProcessId src,
+                                              std::uint64_t bytes) {
+  if (is_disconnected(src)) {
+    // The disconnect_checkpoint already sits at the MSS: converting it to
+    // a tentative checkpoint moves no data over the air.
+    return sim_.now();
+  }
+  MssId cell = mss_of_[static_cast<std::size_t>(src)];
+  sim::SimTime& free_at = cell_medium_free_[static_cast<std::size_t>(cell)];
+  sim::SimTime start = std::max(sim_.now(), free_at);
+  sim::SimTime end = start + wireless_tx(bytes);
+  free_at = end;
+  return end;
+}
+
+void CellularTransport::handoff(ProcessId pid, MssId to) {
+  MCK_ASSERT(to >= 0 && to < params_.num_mss);
+  MCK_ASSERT_MSG(!is_disconnected(pid), "handoff while disconnected");
+  if (mss_of_[static_cast<std::size_t>(pid)] == to) return;
+  mss_of_[static_cast<std::size_t>(pid)] = to;
+  ++handoffs_;
+}
+
+void CellularTransport::disconnect(ProcessId pid) {
+  MCK_ASSERT(!is_disconnected(pid));
+  disconnected_[static_cast<std::size_t>(pid)] = 1;
+}
+
+void CellularTransport::reconnect(ProcessId pid, MssId at) {
+  MCK_ASSERT(is_disconnected(pid));
+  MCK_ASSERT(at >= 0 && at < params_.num_mss);
+  disconnected_[static_cast<std::size_t>(pid)] = 0;
+  mss_of_[static_cast<std::size_t>(pid)] = at;
+  // The old MSS transfers the support information (buffered messages) to
+  // the new MSS, which forwards them to the MH, in order.
+  std::deque<rt::Message> pending;
+  pending.swap(buffer_[static_cast<std::size_t>(pid)]);
+  sim::SimTime at_time = sim_.now() + params_.wired_latency;
+  for (rt::Message& m : pending) {
+    at_time += wireless_tx(m.size_bytes);
+    sim_.schedule_at(at_time, [this, msg = std::move(m)]() mutable {
+      hand_to_process(std::move(msg));
+    });
+  }
+}
+
+}  // namespace mck::mobile

@@ -1,0 +1,108 @@
+// Cellular mobile system transport (Sections 2.1-2.2 of the paper):
+// mobile hosts live in cells, each served by a mobile support station;
+// MSSs are connected by a wired network, MHs reach their MSS over a
+// wireless channel. One process runs per MH.
+//
+// Modelled behaviours:
+//  * Routing: MH -> local MSS (wireless) -> destination MSS (wired) ->
+//    destination MH (wireless), each hop with its transmission delay.
+//  * Handoff: if the destination MH moved while the message was in
+//    flight, the old MSS forwards it (extra wired + wireless hops) — the
+//    paper's "a message may be routed several times before reaching its
+//    destination".
+//  * Disconnection (Section 2.2): computation messages to a disconnected
+//    MH are buffered at its MSS and delivered on reconnection, in order.
+//    System messages still reach the protocol instance, which models the
+//    MSS acting on the MH's behalf using the disconnect_checkpoint and
+//    the deposited dependency vector (proof of Theorem 1, Case 3).
+//    Checkpoint transfers for a disconnected process are free: the
+//    disconnect_checkpoint already sits on the MSS's stable storage.
+//  * End-to-end FIFO per ordered process pair (the paper's channel
+//    assumption), enforced with per-pair delivery floors.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/fifo.hpp"
+#include "rt/transport.hpp"
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace mck::mobile {
+
+struct CellularParams {
+  int num_mss = 4;
+  double wireless_bps = 2e6;   // IEEE 802.11 LAN per cell
+  double wired_bps = 100e6;    // MSS backbone
+  sim::SimTime wired_latency = sim::milliseconds(1);   // per backbone hop
+  sim::SimTime forward_penalty = sim::milliseconds(5); // handoff reroute
+};
+
+class CellularTransport final : public rt::Transport {
+ public:
+  CellularTransport(sim::Simulator& sim, int num_processes,
+                    CellularParams params = {});
+
+  void set_sink(ProcessId pid, rt::DeliverFn fn);
+
+  // ---- rt::Transport ---------------------------------------------------
+  void send(rt::Message msg) override;
+  void broadcast(rt::Message msg) override;
+  sim::SimTime transfer_bulk(ProcessId src, std::uint64_t bytes) override;
+  int num_processes() const override { return static_cast<int>(sinks_.size()); }
+
+  // ---- mobility control -------------------------------------------------
+  MssId mss_of(ProcessId pid) const {
+    return mss_of_[static_cast<std::size_t>(pid)];
+  }
+  int num_mss() const { return params_.num_mss; }
+
+  /// Moves the MH hosting `pid` into the cell of `to`.
+  void handoff(ProcessId pid, MssId to);
+
+  /// Voluntary disconnection: computation messages start buffering at the
+  /// MSS. The caller is responsible for having deposited a
+  /// disconnect_checkpoint first (CaoSinghalProtocol::on_disconnect()).
+  void disconnect(ProcessId pid);
+
+  /// Reconnection at `at` (possibly a different cell): the old MSS hands
+  /// over buffered messages, which are delivered in order.
+  void reconnect(ProcessId pid, MssId at);
+
+  bool is_disconnected(ProcessId pid) const {
+    return disconnected_[static_cast<std::size_t>(pid)] != 0;
+  }
+
+  std::uint64_t messages_forwarded() const { return forwarded_; }
+  std::uint64_t messages_buffered() const { return buffered_total_; }
+  std::uint64_t handoffs() const { return handoffs_; }
+
+ private:
+  sim::SimTime wireless_tx(std::uint64_t bytes) const;
+  sim::SimTime wired_tx(std::uint64_t bytes) const;
+  sim::SimTime path_delay(MssId from, MssId to, std::uint64_t bytes) const;
+  void launch(rt::Message msg);
+  void arrive(rt::Message msg, MssId routed_to);
+  void hand_to_process(rt::Message msg);
+
+  sim::Simulator& sim_;
+  CellularParams params_;
+  std::vector<rt::DeliverFn> sinks_;
+  std::vector<MssId> mss_of_;
+  std::vector<std::uint8_t> disconnected_;
+  std::vector<std::deque<rt::Message>> buffer_;  // per disconnected pid
+  // FIFO is enforced separately for computation and system messages: the
+  // MSS proxies system messages for a disconnected MH (Section 2.2) while
+  // its computation messages sit in the buffer, so the two classes may
+  // legitimately interleave.
+  net::FifoSequencer comp_fifo_;
+  net::FifoSequencer sys_fifo_;
+  std::vector<sim::SimTime> cell_medium_free_;   // bulk transfers per cell
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t buffered_total_ = 0;
+  std::uint64_t handoffs_ = 0;
+};
+
+}  // namespace mck::mobile

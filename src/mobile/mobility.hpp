@@ -1,0 +1,46 @@
+// Random-waypoint-style mobility driver: schedules handoffs and voluntary
+// disconnect/reconnect cycles for every MH over a CellularTransport.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mobile/cellular.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mck::mobile {
+
+struct MobilityParams {
+  sim::SimTime mean_residence = sim::seconds(120);   // time in a cell
+  double disconnect_probability = 0.15;  // P(move is a disconnect instead)
+  sim::SimTime mean_disconnect = sim::seconds(60);   // disconnect duration
+};
+
+class MobilityModel {
+ public:
+  MobilityModel(sim::Simulator& sim, sim::Rng& rng,
+                CellularTransport& transport, MobilityParams params = {})
+      : sim_(sim), rng_(rng), transport_(transport), params_(params) {}
+
+  /// Invoked just before an MH disconnects, so the protocol can deposit
+  /// its disconnect_checkpoint at the MSS (Section 2.2).
+  std::function<void(ProcessId)> on_disconnect;
+  /// Invoked right after an MH reconnects.
+  std::function<void(ProcessId)> on_reconnect;
+
+  /// Starts the mobility process for every MH, until `horizon`.
+  void start(sim::SimTime horizon);
+
+ private:
+  void schedule_next(ProcessId pid);
+  void move(ProcessId pid);
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  CellularTransport& transport_;
+  MobilityParams params_;
+  sim::SimTime horizon_ = 0;
+};
+
+}  // namespace mck::mobile

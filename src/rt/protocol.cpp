@@ -1,0 +1,144 @@
+#include "rt/protocol.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mck::rt {
+
+void CheckpointProtocol::send_computation(ProcessId dst) {
+  MCK_ASSERT(ctx_.sim != nullptr);
+  MCK_ASSERT(dst != ctx_.self);
+  if (blocked_) {
+    deferred_sends_.push_back(dst);
+    ++ctx_.stats->blocked_sends_deferred;
+    return;
+  }
+  Message m;
+  m.kind = MsgKind::kComputation;
+  m.src = ctx_.self;
+  m.dst = dst;
+  m.size_bytes = ctx_.timing->comp_msg_bytes;
+  m.sent_at = ctx_.sim->now();
+  m.payload = computation_payload(dst);
+  m.id = ctx_.log->record_send(ctx_.self, dst, m.sent_at);
+  ++ctx_.stats->msgs_sent[static_cast<int>(m.kind)];
+  ctx_.stats->bytes_sent[static_cast<int>(m.kind)] += m.size_bytes;
+  ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
+  stats::ProcessEnergy& e =
+      ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)];
+  ++e.tx_comp_msgs;
+  e.tx_bytes += m.size_bytes;
+  ctx_.net->send(std::move(m));
+}
+
+void CheckpointProtocol::on_deliver(const Message& m) {
+  ++ctx_.stats->deliveries;
+  ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
+  stats::ProcessEnergy& e =
+      ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)];
+  e.rx_bytes += m.size_bytes;
+  if (m.kind == MsgKind::kComputation) {
+    ++e.rx_comp_msgs;
+    handle_computation(m);
+  } else {
+    ++e.rx_sys_msgs;  // a dozing MH is woken by this message
+    handle_system(m);
+  }
+}
+
+void CheckpointProtocol::send_system(MsgKind kind, ProcessId dst,
+                                     std::shared_ptr<const Payload> payload) {
+  MCK_ASSERT(is_system(kind));
+  Message m;
+  m.kind = kind;
+  m.src = ctx_.self;
+  m.dst = dst;
+  m.size_bytes = ctx_.timing->sys_msg_bytes;
+  if (ctx_.timing->use_wire_sizes && payload) {
+    std::uint64_t ws = system_payload_wire_size(*payload);
+    if (ws > 0) m.size_bytes = ws;
+  }
+  m.sent_at = ctx_.sim->now();
+  m.payload = std::move(payload);
+  m.id = ctx_.log->next_msg_id();
+  ++ctx_.stats->msgs_sent[static_cast<int>(kind)];
+  ctx_.stats->bytes_sent[static_cast<int>(kind)] += m.size_bytes;
+  ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
+  stats::ProcessEnergy& e =
+      ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)];
+  ++e.tx_sys_msgs;
+  e.tx_bytes += m.size_bytes;
+  ctx_.net->send(std::move(m));
+}
+
+void CheckpointProtocol::broadcast_system(
+    MsgKind kind, std::shared_ptr<const Payload> payload) {
+  MCK_ASSERT(is_system(kind));
+  Message m;
+  m.kind = kind;
+  m.src = ctx_.self;
+  m.size_bytes = ctx_.timing->sys_msg_bytes;
+  if (ctx_.timing->use_wire_sizes && payload) {
+    std::uint64_t ws = system_payload_wire_size(*payload);
+    if (ws > 0) m.size_bytes = ws;
+  }
+  m.sent_at = ctx_.sim->now();
+  m.payload = std::move(payload);
+  m.id = ctx_.log->next_msg_id();
+  // A broadcast is one transmission on the shared medium but is counted
+  // once per recipient for byte accounting symmetry with [13].
+  ++ctx_.stats->msgs_sent[static_cast<int>(kind)];
+  ctx_.stats->bytes_sent[static_cast<int>(kind)] += m.size_bytes;
+  ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
+  stats::ProcessEnergy& e =
+      ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)];
+  ++e.tx_sys_msgs;
+  e.tx_bytes += m.size_bytes;
+  ctx_.net->broadcast(std::move(m));
+}
+
+void CheckpointProtocol::process_computation(const Message& m) {
+  ctx_.log->record_recv(m.id, ctx_.self, ctx_.sim->now());
+  if (on_app_message) on_app_message(m);
+}
+
+void CheckpointProtocol::charge_mutable_save() {
+  ctx_.stats->mutable_overhead_time += ctx_.timing->mutable_save_delay;
+}
+
+sim::SimTime CheckpointProtocol::start_stable_transfer() {
+  sim::SimTime done =
+      ctx_.net->transfer_bulk(ctx_.self, ctx_.timing->ckpt_bytes);
+  if (done > ctx_.sim->now()) {
+    // Radio airtime was actually spent (a disconnected MH's checkpoint is
+    // converted at the MSS for free, Section 2.2).
+    ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
+    ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)]
+        .bulk_bytes += ctx_.timing->ckpt_bytes;
+  }
+  return done + ctx_.timing->disk_delay;
+}
+
+void CheckpointProtocol::block() {
+  if (blocked_) return;
+  blocked_ = true;
+  blocked_since_ = ctx_.sim->now();
+}
+
+void CheckpointProtocol::unblock() {
+  if (!blocked_) return;
+  blocked_ = false;
+  ctx_.stats->blocked_time_total += ctx_.sim->now() - blocked_since_;
+  blocked_since_ = -1;
+  dispatch_deferred();
+}
+
+void CheckpointProtocol::dispatch_deferred() {
+  std::vector<ProcessId> pending;
+  pending.swap(deferred_sends_);
+  for (ProcessId dst : pending) {
+    send_computation(dst);
+  }
+}
+
+}  // namespace mck::rt

@@ -1,0 +1,47 @@
+// Transport abstraction: reliable FIFO delivery between processes
+// (Section 2.1 of the paper). Implementations model a shared wireless LAN
+// (the evaluation setup of Section 5.1) or a full cellular system with
+// MSSs, handoff, and disconnection (Section 2.2).
+#pragma once
+
+#include <functional>
+
+#include "rt/message.hpp"
+#include "sim/time.hpp"
+
+namespace mck::rt {
+
+/// Callback used by transports to hand a message to its destination
+/// process at delivery time.
+using DeliverFn = std::function<void(const Message&)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends `msg` at the current simulated time. Delivery is reliable and
+  /// FIFO per ordered (src, dst) pair.
+  virtual void send(Message msg) = 0;
+
+  /// Broadcasts a system message from `msg.src` to every process
+  /// (msg.dst ignored). Used for commit/abort broadcasts.
+  virtual void broadcast(Message msg) = 0;
+
+  /// Reserves the medium to move `bytes` of bulk data (a checkpoint being
+  /// transferred from an MH to stable storage at its MSS) and returns the
+  /// completion time. The transfer competes with messages for bandwidth.
+  virtual sim::SimTime transfer_bulk(ProcessId src, std::uint64_t bytes) = 0;
+
+  /// Failure model of Section 3.6: "if a process fails, some processes
+  /// that try to communicate with it get to know of the failure". A
+  /// sender may probe reachability before sending a checkpoint request;
+  /// deliveries to failed processes are dropped.
+  virtual bool reachable(ProcessId pid) const {
+    (void)pid;
+    return true;
+  }
+
+  virtual int num_processes() const = 0;
+};
+
+}  // namespace mck::rt

@@ -1,0 +1,39 @@
+#include "sim/simulator.hpp"
+
+namespace mck::sim {
+
+EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
+  MCK_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{at, next_seq_++, std::move(fn), flag});
+  return EventHandle(std::move(flag));
+}
+
+bool Simulator::step(SimTime until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > until) return false;
+    Event ev = top;
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  while (!stop_requested_ && step(until)) {
+    ++n;
+  }
+  if (until != kTimeNever && now_ < until && !stop_requested_) {
+    now_ = until;  // time advances to the horizon even if idle
+  }
+  return n;
+}
+
+}  // namespace mck::sim

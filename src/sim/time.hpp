@@ -1,0 +1,30 @@
+// Simulated time. Integer nanoseconds keep event ordering exact and runs
+// bit-for-bit reproducible across platforms (the paper's delays — 0.2 ms,
+// 2.5 ms, 4 ms, 2 s, 900 s — are all exact in nanoseconds).
+#pragma once
+
+#include <cstdint>
+
+namespace mck::sim {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+inline constexpr SimTime kTimeZero = 0;
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+constexpr SimTime nanoseconds(std::int64_t v) { return v; }
+constexpr SimTime microseconds(std::int64_t v) { return v * 1'000; }
+constexpr SimTime milliseconds(std::int64_t v) { return v * 1'000'000; }
+constexpr SimTime seconds(std::int64_t v) { return v * 1'000'000'000; }
+
+/// Converts a duration in (possibly fractional) seconds; rounds to ns.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_milliseconds(SimTime t) {
+  return static_cast<double>(t) / 1e6;
+}
+
+}  // namespace mck::sim

@@ -1,0 +1,69 @@
+// Plain-text aligned table rendering for bench output, so each bench binary
+// prints the same rows/series the paper's figures and tables report.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mck::stats {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string render() const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        out += "| ";
+        out += cell;
+        out.append(widths[i] - cell.size() + 1, ' ');
+      }
+      out += "|\n";
+    };
+    emit(header_);
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      out += "|";
+      out.append(widths[i] + 2, '-');
+    }
+    out += "|\n";
+    for (const auto& r : rows_) emit(r);
+    return out;
+  }
+
+  void print() const { std::fputs(render().c_str(), stdout); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// snprintf convenience for table cells.
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+inline std::string fmt_u(const char* f, unsigned long long v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+}  // namespace mck::stats

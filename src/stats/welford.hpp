@@ -1,0 +1,83 @@
+// Streaming mean/variance (Welford) and 95% confidence intervals.
+//
+// Section 5.2 of the paper: "The mean value of a measured parameter is
+// obtained by collecting a large number of samples such that the confidence
+// interval is reasonably small. In most cases, the 95 percent confidence
+// interval for the measured data is less than 10 percent of the sample
+// mean." The harness reproduces that procedure with these accumulators.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mck::stats {
+
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+    sum_ += x;
+  }
+
+  void merge(const Welford& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    std::uint64_t n = n_ + o.n_;
+    double delta = o.mean_ - mean_;
+    double mean = mean_ + delta * static_cast<double>(o.n_) /
+                              static_cast<double>(n);
+    m2_ = m2_ + o.m2_ + delta * delta * static_cast<double>(n_) *
+                            static_cast<double>(o.n_) /
+                            static_cast<double>(n);
+    mean_ = mean;
+    n_ = n;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    sum_ += o.sum_;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Half-width of the 95% confidence interval for the mean
+  /// (normal approximation; the sample counts here are in the hundreds).
+  double ci95_half_width() const {
+    if (n_ < 2) return 0.0;
+    return 1.959964 * stddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+  /// True once the CI is tighter than `fraction` of the mean
+  /// (paper's "less than 10 percent of the sample mean").
+  bool ci_within(double fraction) const {
+    if (n_ < 2) return false;
+    double m = std::fabs(mean());
+    if (m == 0.0) return true;
+    return ci95_half_width() <= fraction * m;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace mck::stats

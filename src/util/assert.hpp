@@ -1,0 +1,31 @@
+// Always-on invariant checking. Simulation correctness depends on these
+// firing in release builds too, so they are not tied to NDEBUG.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mck::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "MCK_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace mck::util
+
+#define MCK_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::mck::util::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+    }                                                                 \
+  } while (0)
+
+#define MCK_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::mck::util::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                 \
+  } while (0)

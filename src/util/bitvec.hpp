@@ -1,0 +1,70 @@
+// Dynamic bit vector used for the dependency vectors R_i of the paper
+// (Section 3.2): R_i[j] = 1 iff P_i received a computation message from P_j
+// in the current checkpoint interval.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mck::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n) : bits_(n, 0) {}
+
+  std::size_t size() const { return bits_.size(); }
+
+  void set(std::size_t i, bool v = true) {
+    MCK_ASSERT(i < bits_.size());
+    bits_[i] = v ? 1 : 0;
+  }
+
+  bool test(std::size_t i) const {
+    MCK_ASSERT(i < bits_.size());
+    return bits_[i] != 0;
+  }
+
+  /// Clears all bits.
+  void reset() { std::fill(bits_.begin(), bits_.end(), 0); }
+
+  /// Bitwise OR-in (paper's "R := R ∪ CP.R").
+  void merge(const BitVec& other) {
+    MCK_ASSERT(other.size() == size());
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      bits_[i] |= other.bits_[i];
+    }
+  }
+
+  bool any() const {
+    for (auto b : bits_) {
+      if (b) return true;
+    }
+    return false;
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (auto b : bits_) c += b;
+    return c;
+  }
+
+  bool operator==(const BitVec& other) const { return bits_ == other.bits_; }
+
+  /// "0110..." rendering for debugging.
+  std::string to_string() const {
+    std::string s;
+    s.reserve(bits_.size());
+    for (auto b : bits_) s.push_back(b ? '1' : '0');
+    return s;
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace mck::util

@@ -1,0 +1,40 @@
+// Minimal leveled logger. Examples turn tracing on to narrate protocol
+// decisions; tests and benches leave it off. Not thread-safe by design —
+// the simulator is single-threaded.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mck::util {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kTrace = 2 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kOff;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) {
+    return static_cast<int>(level()) >= static_cast<int>(lvl);
+  }
+
+  static void printf(LogLevel lvl, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3))) {
+    if (!enabled(lvl)) return;
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stdout, fmt, args);
+    va_end(args);
+    std::fputc('\n', stdout);
+  }
+};
+
+}  // namespace mck::util
+
+#define MCK_INFO(...) \
+  ::mck::util::Log::printf(::mck::util::LogLevel::kInfo, __VA_ARGS__)
+#define MCK_TRACE(...) \
+  ::mck::util::Log::printf(::mck::util::LogLevel::kTrace, __VA_ARGS__)

@@ -1,0 +1,27 @@
+// Fundamental identifier types shared by every module.
+#pragma once
+
+#include <cstdint>
+
+namespace mck {
+
+/// Index of a distributed process (0-based).
+using ProcessId = std::int32_t;
+
+/// Index of a mobile host.
+using HostId = std::int32_t;
+
+/// Index of a mobile support station (equivalently, of its cell).
+using MssId = std::int32_t;
+
+/// Globally unique message identifier, assigned at send time.
+using MessageId = std::uint64_t;
+
+/// Checkpoint sequence number (csn) as defined in Section 2.1 of the paper.
+using Csn = std::uint32_t;
+
+inline constexpr ProcessId kInvalidProcess = -1;
+inline constexpr HostId kInvalidHost = -1;
+inline constexpr MssId kInvalidMss = -1;
+
+}  // namespace mck

@@ -1,0 +1,74 @@
+// Vector clocks (Mattern / Fidge), used as an *independent* consistency
+// oracle: a global checkpoint line is consistent iff, with VC_p taken at
+// P_p's cut point, for all p, q: VC_p[q] <= cut_q. The checker's direct
+// orphan scan and this clock-based condition must always agree — the
+// property tests cross-check them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace mck::util {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : v_(n, 0) {}
+
+  std::size_t size() const { return v_.size(); }
+
+  std::uint64_t operator[](std::size_t i) const {
+    MCK_ASSERT(i < v_.size());
+    return v_[i];
+  }
+
+  /// Local event at process `self`.
+  void tick(ProcessId self) {
+    MCK_ASSERT(static_cast<std::size_t>(self) < v_.size());
+    ++v_[static_cast<std::size_t>(self)];
+  }
+
+  /// Component-wise maximum (message receipt).
+  void merge(const VectorClock& o) {
+    MCK_ASSERT(o.size() == size());
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (o.v_[i] > v_[i]) v_[i] = o.v_[i];
+    }
+  }
+
+  /// True iff *this happened-before o (strictly).
+  bool happens_before(const VectorClock& o) const {
+    MCK_ASSERT(o.size() == size());
+    bool strictly = false;
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (v_[i] > o.v_[i]) return false;
+      if (v_[i] < o.v_[i]) strictly = true;
+    }
+    return strictly;
+  }
+
+  bool concurrent_with(const VectorClock& o) const {
+    return !happens_before(o) && !o.happens_before(*this) && !(*this == o);
+  }
+
+  bool operator==(const VectorClock& o) const { return v_ == o.v_; }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(v_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  std::vector<std::uint64_t> v_;
+};
+
+}  // namespace mck::util

@@ -1,0 +1,93 @@
+#include "util/weight.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace mck::util {
+
+void Weight::halve() {
+  std::uint64_t carry = int_ & 1u;
+  int_ >>= 1;
+  for (std::size_t i = 0; i < frac_.size(); ++i) {
+    std::uint64_t next_carry = frac_[i] & 1u;
+    frac_[i] = (frac_[i] >> 1) | (carry << 63);
+    carry = next_carry;
+  }
+  if (carry != 0) {
+    frac_.push_back(carry << 63);
+  }
+  trim();
+}
+
+Weight Weight::split_half() {
+  halve();
+  return *this;
+}
+
+void Weight::add(const Weight& other) {
+  if (other.frac_.size() > frac_.size()) {
+    frac_.resize(other.frac_.size(), 0);
+  }
+  // Add fractional limbs from least significant (highest index) upward.
+  std::uint64_t carry = 0;
+  for (std::size_t i = frac_.size(); i-- > 0;) {
+    std::uint64_t rhs = i < other.frac_.size() ? other.frac_[i] : 0;
+    std::uint64_t sum = frac_[i] + rhs;
+    std::uint64_t c1 = sum < frac_[i] ? 1u : 0u;
+    std::uint64_t sum2 = sum + carry;
+    std::uint64_t c2 = sum2 < sum ? 1u : 0u;
+    frac_[i] = sum2;
+    carry = c1 + c2;
+  }
+  std::uint64_t new_int = int_ + other.int_ + carry;
+  MCK_ASSERT_MSG(new_int >= int_, "Weight integer overflow");
+  int_ = new_int;
+  trim();
+}
+
+bool Weight::is_zero() const { return int_ == 0 && frac_.empty(); }
+
+bool Weight::is_one() const { return int_ == 1 && frac_.empty(); }
+
+int Weight::compare(const Weight& other) const {
+  if (int_ != other.int_) return int_ < other.int_ ? -1 : 1;
+  std::size_t n = std::max(frac_.size(), other.frac_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t a = i < frac_.size() ? frac_[i] : 0;
+    std::uint64_t b = i < other.frac_.size() ? other.frac_[i] : 0;
+    if (a != b) return a < b ? -1 : 1;
+  }
+  return 0;
+}
+
+double Weight::to_double() const {
+  double v = static_cast<double>(int_);
+  double scale = 1.0;
+  for (std::uint64_t limb : frac_) {
+    scale /= 18446744073709551616.0;  // 2^64
+    v += static_cast<double>(limb) * scale;
+  }
+  return v;
+}
+
+std::string Weight::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.",
+                static_cast<unsigned long long>(int_));
+  std::string out = buf;
+  for (std::uint64_t limb : frac_) {
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(limb));
+    out += buf;
+  }
+  return out;
+}
+
+void Weight::trim() {
+  while (!frac_.empty() && frac_.back() == 0) {
+    frac_.pop_back();
+  }
+}
+
+}  // namespace mck::util

@@ -1,0 +1,78 @@
+// Exact binary-fraction arithmetic for Huang-style termination detection.
+//
+// The checkpointing algorithm (Section 3.3.4 of the paper) gives the
+// initiator weight 1.0, halves a weight every time a request is propagated,
+// and declares termination when the returned weights sum to exactly 1.
+// Request propagation can halve a weight hundreds of times, so neither
+// double nor a 64-bit fixed point is exact enough. Weight is an
+// arbitrary-precision non-negative binary fraction in [0, 2^64): an integer
+// part plus little-endian fractional limbs, where fractional limb i holds
+// bits 2^-(64*i+1) .. 2^-(64*(i+1)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mck::util {
+
+class Weight {
+ public:
+  /// Value 0.
+  Weight() = default;
+
+  /// Value `integer` (e.g. Weight(1) is the initiator's full weight).
+  explicit Weight(std::uint64_t integer) : int_(integer) {}
+
+  static Weight zero() { return Weight(); }
+  static Weight one() { return Weight(1); }
+
+  /// Divides the value by 2 exactly (shift right by one bit).
+  void halve();
+
+  /// Halves this weight and returns the removed half, so that
+  /// *this + returned == old value and *this == returned.
+  Weight split_half();
+
+  /// Adds `other` into this weight exactly.
+  void add(const Weight& other);
+
+  bool is_zero() const;
+  bool is_one() const;
+
+  /// Total ordering; compares exact values.
+  int compare(const Weight& other) const;
+  bool operator==(const Weight& other) const { return compare(other) == 0; }
+  bool operator<(const Weight& other) const { return compare(other) < 0; }
+  bool operator<=(const Weight& other) const { return compare(other) <= 0; }
+
+  /// Approximate value, for diagnostics only.
+  double to_double() const;
+
+  /// Number of fractional limbs currently stored (precision gauge).
+  std::size_t fraction_limbs() const { return frac_.size(); }
+
+  // Raw access for wire serialization (codec round-trips exactly).
+  std::uint64_t integer_part() const { return int_; }
+  const std::vector<std::uint64_t>& raw_fraction() const { return frac_; }
+  static Weight from_raw(std::uint64_t integer,
+                         std::vector<std::uint64_t> fraction) {
+    Weight w;
+    w.int_ = integer;
+    w.frac_ = std::move(fraction);
+    w.trim();
+    return w;
+  }
+
+  /// Hex rendering "int.frac0frac1..." for debugging.
+  std::string to_string() const;
+
+ private:
+  void trim();
+
+  std::uint64_t int_ = 0;
+  // frac_[0] holds the most significant 64 fractional bits.
+  std::vector<std::uint64_t> frac_;
+};
+
+}  // namespace mck::util

@@ -1,0 +1,200 @@
+// Unit tests for the checkpoint substrate: event log, store, consistency
+// checker and rollback recovery — the executable oracle for Theorem 1.
+#include <gtest/gtest.h>
+
+#include "ckpt/checker.hpp"
+#include "ckpt/event_log.hpp"
+#include "ckpt/recovery.hpp"
+#include "ckpt/store.hpp"
+#include "ckpt/tracker.hpp"
+
+namespace mck::ckpt {
+namespace {
+
+TEST(EventLog, CursorsAdvancePerEvent) {
+  EventLog log(3);
+  EXPECT_EQ(log.cursor(0), 0u);
+  MessageId m = log.record_send(0, 1, 0);
+  EXPECT_EQ(log.cursor(0), 1u);
+  EXPECT_EQ(log.cursor(1), 0u);
+  log.record_recv(m, 1, 5);
+  EXPECT_EQ(log.cursor(1), 1u);
+}
+
+TEST(EventLog, OrphanDetection) {
+  EventLog log(2);
+  // P0 sends m after its checkpoint; P1 receives it before its checkpoint.
+  MessageId m = log.record_send(0, 1, 0);  // send_event 0 at P0
+  log.record_recv(m, 1, 1);                // recv_event 0 at P1
+  Line line(2);
+  line[0] = 0;  // P0's checkpoint excludes the send
+  line[1] = 1;  // P1's checkpoint includes the receive
+  auto orphans = log.find_orphans(line);
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0].src, 0);
+  EXPECT_EQ(orphans[0].dst, 1);
+
+  // A line that also includes the send is consistent.
+  line[0] = 1;
+  EXPECT_TRUE(log.find_orphans(line).empty());
+  // A line that includes neither is consistent (message in transit).
+  line[0] = 0;
+  line[1] = 0;
+  EXPECT_TRUE(log.find_orphans(line).empty());
+}
+
+TEST(EventLog, InTransitCount) {
+  EventLog log(2);
+  MessageId m1 = log.record_send(0, 1, 0);
+  log.record_send(0, 1, 1);  // m2 never received
+  log.record_recv(m1, 1, 2);
+  Line line(2);
+  line[0] = 2;  // both sends recorded
+  line[1] = 0;  // no receive recorded
+  EXPECT_EQ(log.count_in_transit(line), 2u);
+  line[1] = 1;  // m1's receive recorded
+  EXPECT_EQ(log.count_in_transit(line), 1u);
+}
+
+TEST(Store, LifecyclePermanent) {
+  CheckpointStore store(2);
+  CkptRef ref = store.take(0, CkptKind::kTentative, 1, 42, 7, 100);
+  EXPECT_EQ(store.get(ref).kind, CkptKind::kTentative);
+  store.make_permanent(ref, 200);
+  EXPECT_EQ(store.get(ref).kind, CkptKind::kPermanent);
+  EXPECT_EQ(store.get(ref).finalized_at, 200);
+  Line line = store.latest_permanent_line();
+  EXPECT_EQ(line[0], 7u);
+  EXPECT_EQ(line[1], 0u);
+}
+
+TEST(Store, MutablePromotion) {
+  CheckpointStore store(2);
+  CkptRef ref = store.take(1, CkptKind::kMutable, 1, 0, 3, 50);
+  store.promote_to_tentative(ref, 99, 80);
+  EXPECT_EQ(store.get(ref).kind, CkptKind::kTentative);
+  EXPECT_EQ(store.get(ref).initiation, 99u);
+  // The promoted checkpoint's state is the one captured at take time.
+  EXPECT_EQ(store.get(ref).event_cursor, 3u);
+  EXPECT_EQ(store.get(ref).taken_at, 50);
+}
+
+TEST(Store, DiscardedExcludedFromLine) {
+  CheckpointStore store(1);
+  CkptRef ref = store.take(0, CkptKind::kTentative, 1, 0, 9, 10);
+  store.discard(ref);
+  EXPECT_EQ(store.latest_permanent_line()[0], 0u);
+  EXPECT_EQ(store.count(CkptKind::kTentative), 0u);
+}
+
+TEST(Store, LastStableTakenAt) {
+  CheckpointStore store(1);
+  EXPECT_EQ(store.last_stable_taken_at(0), 0);
+  store.take(0, CkptKind::kMutable, 1, 0, 1, 30);
+  EXPECT_EQ(store.last_stable_taken_at(0), 0);  // mutable does not count
+  CkptRef t = store.take(0, CkptKind::kTentative, 2, 0, 2, 70);
+  EXPECT_EQ(store.last_stable_taken_at(0), 70);
+  store.discard(t);
+  EXPECT_EQ(store.last_stable_taken_at(0), 0);
+}
+
+TEST(InitiationId, PacksAndUnpacks) {
+  InitiationId id = make_initiation_id(13, 0xBEEF);
+  EXPECT_EQ(initiation_pid(id), 13);
+  EXPECT_EQ(initiation_inum(id), 0xBEEFu);
+}
+
+TEST(Checker, CommitOrderLinesChecked) {
+  EventLog log(2);
+  CoordinationTracker tracker;
+
+  // Initiation A: both processes checkpoint at cursor 0 (before traffic).
+  InitiationStats& a = tracker.open(make_initiation_id(0, 1), 0, 0);
+  a.line_updates = {{0, 0}, {1, 0}};
+  a.committed_at = 10;
+
+  // Traffic: P0 -> P1 delivered.
+  MessageId m = log.record_send(0, 1, 20);
+  log.record_recv(m, 1, 30);
+
+  // Initiation B: only P1 checkpoints, *including* the receive — P0's
+  // line entry stays at 0, the send is outside: orphan.
+  InitiationStats& b = tracker.open(make_initiation_id(1, 1), 1, 40);
+  b.line_updates = {{1, 1}};
+  b.committed_at = 50;
+
+  ConsistencyChecker checker(log, tracker);
+  CheckResult res = checker.check_all();
+  EXPECT_FALSE(res.consistent);
+  ASSERT_EQ(res.orphans.size(), 1u);
+  EXPECT_EQ(res.lines_checked, 2u);
+
+  // Fixing B to also include P0's send restores consistency.
+  b.line_updates.push_back({0, 1});
+  CheckResult res2 = ConsistencyChecker(log, tracker).check_all();
+  EXPECT_TRUE(res2.consistent);
+}
+
+TEST(Recovery, CoordinatedUsesLatestCommittedLine) {
+  EventLog log(2);
+  CheckpointStore store(2);
+  CoordinationTracker tracker;
+
+  MessageId m = log.record_send(0, 1, 5);
+  log.record_recv(m, 1, 6);
+
+  InitiationStats& a = tracker.open(make_initiation_id(0, 1), 0, 8);
+  a.line_updates = {{0, 1}, {1, 1}};
+  a.committed_at = 10;
+
+  log.record_send(0, 1, 20);  // lost work after the line
+
+  RecoveryManager rm(log, store, tracker);
+  RecoveryOutcome at5 = rm.recover_coordinated(5);
+  EXPECT_EQ(at5.line[0], 0u);  // nothing committed yet
+  EXPECT_EQ(at5.lost_events, 3u);
+
+  RecoveryOutcome at15 = rm.recover_coordinated(15);
+  EXPECT_EQ(at15.line[0], 1u);
+  EXPECT_EQ(at15.line[1], 1u);
+  EXPECT_EQ(at15.lost_events, 1u);  // only the post-line send
+}
+
+TEST(Recovery, UncoordinatedRollbackPropagation) {
+  EventLog log(2);
+  CheckpointStore store(2);
+  CoordinationTracker tracker;
+
+  // P1 checkpoints after receiving m; P0 never checkpoints after sending.
+  MessageId m = log.record_send(0, 1, 5);   // P0 event 0
+  log.record_recv(m, 1, 6);                 // P1 event 0
+  store.take(1, CkptKind::kTentative, 1, 0, 1, 7);  // includes receive
+
+  RecoveryManager rm(log, store, tracker);
+  RecoveryOutcome out = rm.recover_uncoordinated(100);
+  // P1 must roll past its checkpoint to the initial state.
+  EXPECT_EQ(out.line[1], 0u);
+  EXPECT_TRUE(out.domino_to_start);
+  EXPECT_GE(out.rollback_steps, 1u);
+}
+
+TEST(Recovery, UncoordinatedKeepsConsistentCheckpoints) {
+  EventLog log(2);
+  CheckpointStore store(2);
+  CoordinationTracker tracker;
+
+  MessageId m = log.record_send(0, 1, 5);
+  store.take(0, CkptKind::kTentative, 1, 0, 1, 6);  // send included
+  log.record_recv(m, 1, 7);
+  store.take(1, CkptKind::kTentative, 1, 0, 1, 8);  // receive included
+
+  RecoveryOutcome out =
+      RecoveryManager(log, store, tracker).recover_uncoordinated(100);
+  EXPECT_EQ(out.line[0], 1u);
+  EXPECT_EQ(out.line[1], 1u);
+  EXPECT_EQ(out.lost_events, 0u);
+  EXPECT_FALSE(out.domino_to_start);
+}
+
+}  // namespace
+}  // namespace mck::ckpt

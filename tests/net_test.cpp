@@ -1,0 +1,286 @@
+// Unit tests for the network substrate: FIFO sequencing, LAN transport
+// (dedicated and shared medium), and cellular transport mechanics.
+#include <gtest/gtest.h>
+
+#include "mobile/cellular.hpp"
+#include "net/fifo.hpp"
+#include "net/lan.hpp"
+
+namespace mck {
+namespace {
+
+rt::Message make_msg(ProcessId src, ProcessId dst, std::uint64_t bytes,
+                     rt::MsgKind kind = rt::MsgKind::kComputation) {
+  rt::Message m;
+  m.src = src;
+  m.dst = dst;
+  m.size_bytes = bytes;
+  m.kind = kind;
+  return m;
+}
+
+// ---------------------------------------------------------------------
+// FifoSequencer
+// ---------------------------------------------------------------------
+
+TEST(FifoSequencer, InOrderArrivalsPassThrough) {
+  net::FifoSequencer fifo(2);
+  rt::Message a = make_msg(0, 1, 10), b = make_msg(0, 1, 10);
+  fifo.stamp(a);
+  fifo.stamp(b);
+  EXPECT_EQ(fifo.arrive(a).size(), 1u);
+  EXPECT_EQ(fifo.arrive(b).size(), 1u);
+}
+
+TEST(FifoSequencer, OvertakerHeldUntilPredecessor) {
+  net::FifoSequencer fifo(2);
+  rt::Message a = make_msg(0, 1, 10), b = make_msg(0, 1, 10);
+  fifo.stamp(a);  // seq 0
+  fifo.stamp(b);  // seq 1
+  // b arrives first: held back.
+  EXPECT_TRUE(fifo.arrive(b).empty());
+  // a arrives: both released, in order.
+  auto out = fifo.arrive(a);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].channel_seq, 0u);
+  EXPECT_EQ(out[1].channel_seq, 1u);
+}
+
+TEST(FifoSequencer, ChannelsAreIndependent) {
+  net::FifoSequencer fifo(3);
+  rt::Message a = make_msg(0, 1, 10);
+  rt::Message b = make_msg(0, 2, 10);
+  rt::Message c = make_msg(1, 2, 10);
+  fifo.stamp(a);
+  fifo.stamp(b);
+  fifo.stamp(c);
+  EXPECT_EQ(a.channel_seq, 0u);
+  EXPECT_EQ(b.channel_seq, 0u);  // different channel, own numbering
+  EXPECT_EQ(c.channel_seq, 0u);
+  EXPECT_EQ(fifo.arrive(c).size(), 1u);
+  EXPECT_EQ(fifo.arrive(b).size(), 1u);
+  EXPECT_EQ(fifo.arrive(a).size(), 1u);
+}
+
+TEST(FifoSequencer, LongReorderDrainsCompletely) {
+  net::FifoSequencer fifo(2);
+  std::vector<rt::Message> msgs;
+  for (int i = 0; i < 10; ++i) {
+    rt::Message m = make_msg(0, 1, 10);
+    fifo.stamp(m);
+    msgs.push_back(m);
+  }
+  // Arrive in reverse: everything is held until seq 0 shows up.
+  for (int i = 9; i >= 1; --i) {
+    EXPECT_TRUE(fifo.arrive(msgs[static_cast<std::size_t>(i)]).empty());
+  }
+  auto out = fifo.arrive(msgs[0]);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].channel_seq, i);
+  }
+}
+
+// ---------------------------------------------------------------------
+// LanTransport
+// ---------------------------------------------------------------------
+
+struct LanFixture {
+  sim::Simulator sim;
+  net::LanTransport lan;
+  std::vector<std::pair<ProcessId, sim::SimTime>> delivered;
+
+  explicit LanFixture(int n, net::LanParams params = {})
+      : lan(sim, n, params) {
+    for (ProcessId p = 0; p < n; ++p) {
+      lan.set_sink(p, [this, p](const rt::Message&) {
+        delivered.emplace_back(p, sim.now());
+      });
+    }
+  }
+};
+
+TEST(LanTransport, PaperDelaysExactly) {
+  // 1 KB computation message at 2 Mbps -> 4 ms; 50 B system msg -> 0.2 ms.
+  LanFixture f(2);
+  f.lan.send(make_msg(0, 1, 1000));
+  f.sim.run_until();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].second, sim::milliseconds(4));
+
+  LanFixture g(2);
+  g.lan.send(make_msg(0, 1, 50, rt::MsgKind::kRequest));
+  g.sim.run_until();
+  EXPECT_EQ(g.delivered[0].second, sim::microseconds(200));
+}
+
+TEST(LanTransport, SystemMessageDoesNotOvertakeComputation) {
+  LanFixture f(2);
+  f.lan.send(make_msg(0, 1, 1000));                          // arrives 4 ms
+  f.lan.send(make_msg(0, 1, 50, rt::MsgKind::kRequest));     // raw 0.2 ms
+  f.sim.run_until();
+  ASSERT_EQ(f.delivered.size(), 2u);
+  // FIFO: the system message waits for the computation message.
+  EXPECT_EQ(f.delivered[0].second, sim::milliseconds(4));
+  EXPECT_EQ(f.delivered[1].second, sim::milliseconds(4));
+}
+
+TEST(LanTransport, DifferentChannelsDoNotBlockEachOther) {
+  LanFixture f(3);
+  f.lan.send(make_msg(0, 1, 1000));
+  f.lan.send(make_msg(0, 2, 50, rt::MsgKind::kRequest));
+  f.sim.run_until();
+  ASSERT_EQ(f.delivered.size(), 2u);
+  EXPECT_EQ(f.delivered[0].first, 2);  // other channel flies past
+  EXPECT_EQ(f.delivered[0].second, sim::microseconds(200));
+}
+
+TEST(LanTransport, SharedMediumSerializesTransmissions) {
+  net::LanParams params;
+  params.mode = net::MediumMode::kShared;
+  LanFixture f(3, params);
+  f.lan.send(make_msg(0, 1, 1000));  // occupies [0, 4ms]
+  f.lan.send(make_msg(2, 1, 1000));  // occupies [4, 8ms]
+  f.sim.run_until();
+  ASSERT_EQ(f.delivered.size(), 2u);
+  EXPECT_EQ(f.delivered[0].second, sim::milliseconds(4));
+  EXPECT_EQ(f.delivered[1].second, sim::milliseconds(8));
+}
+
+TEST(LanTransport, BulkTransferSerializesOnTheMedium) {
+  LanFixture f(2);
+  // Two 500 KB checkpoints: 2 s each, back to back = the paper's
+  // "checkpointing time (at most 2 * 16 = 32s)" behaviour.
+  sim::SimTime t1 = f.lan.transfer_bulk(0, 500000);
+  sim::SimTime t2 = f.lan.transfer_bulk(1, 500000);
+  EXPECT_EQ(t1, sim::seconds(2));
+  EXPECT_EQ(t2, sim::seconds(4));
+}
+
+TEST(LanTransport, BroadcastReachesAllButSender) {
+  LanFixture f(4);
+  f.lan.broadcast(make_msg(1, -1, 50, rt::MsgKind::kCommit));
+  f.sim.run_until();
+  ASSERT_EQ(f.delivered.size(), 3u);
+  for (auto& [p, at] : f.delivered) {
+    EXPECT_NE(p, 1);
+    EXPECT_EQ(at, sim::microseconds(200));
+  }
+}
+
+TEST(LanTransport, FailedProcessIsUnreachableAndSilenced) {
+  LanFixture f(3);
+  f.lan.set_failed(1, true);
+  EXPECT_FALSE(f.lan.reachable(1));
+  EXPECT_TRUE(f.lan.reachable(0));
+  f.lan.send(make_msg(0, 1, 1000));  // to the dead: dropped
+  f.lan.send(make_msg(1, 2, 1000));  // from the dead: dropped
+  f.lan.send(make_msg(0, 2, 1000));  // alive pair: delivered
+  f.sim.run_until();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].first, 2);
+}
+
+TEST(LanTransport, RepairRestoresDelivery) {
+  LanFixture f(2);
+  f.lan.set_failed(1, true);
+  f.lan.send(make_msg(0, 1, 1000));
+  f.sim.run_until();
+  EXPECT_TRUE(f.delivered.empty());
+  f.lan.set_failed(1, false);
+  f.lan.send(make_msg(0, 1, 1000));
+  f.sim.run_until();
+  EXPECT_EQ(f.delivered.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// CellularTransport
+// ---------------------------------------------------------------------
+
+struct CellFixture {
+  sim::Simulator sim;
+  mobile::CellularTransport cell;
+  std::vector<std::pair<ProcessId, sim::SimTime>> delivered;
+
+  explicit CellFixture(int n, mobile::CellularParams params = {})
+      : cell(sim, n, params) {
+    for (ProcessId p = 0; p < n; ++p) {
+      cell.set_sink(p, [this, p](const rt::Message&) {
+        delivered.emplace_back(p, sim.now());
+      });
+    }
+  }
+};
+
+TEST(CellularTransport, IntraCellSkipsTheBackbone) {
+  mobile::CellularParams params;
+  params.num_mss = 2;
+  params.wired_latency = sim::milliseconds(10);
+  CellFixture f(4, params);  // P0,P2 in cell 0; P1,P3 in cell 1
+  f.cell.send(make_msg(0, 2, 1000));  // same cell: 2 wireless hops = 8 ms
+  f.cell.send(make_msg(0, 1, 1000));  // cross cell: + wired
+  f.sim.run_until();
+  ASSERT_EQ(f.delivered.size(), 2u);
+  EXPECT_EQ(f.delivered[0].first, 2);
+  EXPECT_EQ(f.delivered[0].second, sim::milliseconds(8));
+  EXPECT_GT(f.delivered[1].second, sim::milliseconds(18));
+}
+
+TEST(CellularTransport, BulkIsPerCellAndFreeWhileDisconnected) {
+  mobile::CellularParams params;
+  params.num_mss = 2;
+  CellFixture f(4, params);
+  sim::SimTime a = f.cell.transfer_bulk(0, 500000);  // cell 0
+  sim::SimTime b = f.cell.transfer_bulk(1, 500000);  // cell 1: parallel
+  sim::SimTime c = f.cell.transfer_bulk(2, 500000);  // cell 0: queued
+  EXPECT_EQ(a, sim::seconds(2));
+  EXPECT_EQ(b, sim::seconds(2));
+  EXPECT_EQ(c, sim::seconds(4));
+
+  f.cell.disconnect(3);
+  EXPECT_EQ(f.cell.transfer_bulk(3, 500000), f.sim.now());  // free
+}
+
+TEST(CellularTransport, SystemMessagesReachDisconnectedProcess) {
+  CellFixture f(3);
+  f.cell.disconnect(1);
+  f.cell.send(make_msg(0, 1, 50, rt::MsgKind::kRequest));
+  f.cell.send(make_msg(0, 1, 1000));  // computation: buffered
+  f.sim.run_until();
+  ASSERT_EQ(f.delivered.size(), 1u);  // only the request (MSS proxy)
+  EXPECT_EQ(f.cell.messages_buffered(), 1u);
+}
+
+TEST(CellularTransport, HandoffToSameCellIsNoop) {
+  CellFixture f(3);
+  MssId cur = f.cell.mss_of(0);
+  f.cell.handoff(0, cur);
+  EXPECT_EQ(f.cell.handoffs(), 0u);
+  f.cell.handoff(0, (cur + 1) % f.cell.num_mss());
+  EXPECT_EQ(f.cell.handoffs(), 1u);
+}
+
+
+TEST(LanTransport, LossyLinkJittersButPreservesFifo) {
+  sim::Simulator simu;
+  sim::Rng rng(9);
+  net::LanParams params;
+  params.loss_probability = 0.4;
+  net::LanTransport lan(simu, 2, params, &rng);
+  std::vector<std::uint64_t> order;
+  lan.set_sink(0, [](const rt::Message&) {});
+  lan.set_sink(1, [&](const rt::Message& m) { order.push_back(m.channel_seq); });
+  for (int i = 0; i < 50; ++i) {
+    rt::Message m = make_msg(0, 1, 1000);
+    lan.send(std::move(m));
+  }
+  simu.run_until();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i) << "FIFO violated under retransmission jitter";
+  }
+  EXPECT_GT(lan.retransmissions(), 0u);
+}
+
+}  // namespace
+}  // namespace mck

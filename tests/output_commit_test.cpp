@@ -1,0 +1,96 @@
+// Output commit (Section 5.3): outputs to the outside world are held
+// until a committed global checkpoint covers them.
+#include "harness/output_commit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/system.hpp"
+#include "workload/traffic.hpp"
+
+namespace mck {
+namespace {
+
+using harness::Algorithm;
+using harness::OutputCommitter;
+using harness::System;
+using harness::SystemOptions;
+
+SystemOptions options(int n) {
+  SystemOptions opts;
+  opts.num_processes = n;
+  opts.algorithm = Algorithm::kCaoSinghal;
+  return opts;
+}
+
+TEST(OutputCommit, OutputHeldUntilCommit) {
+  System sys(options(4));
+  OutputCommitter committer(sys);
+
+  sim::SimTime released_at = -1;
+  sys.simulator().schedule_at(sim::milliseconds(10),
+                              [&sys] { sys.send(1, 2); });
+  sys.simulator().schedule_at(sim::milliseconds(100), [&] {
+    committer.request(2, [&](sim::SimTime at) { released_at = at; });
+  });
+  sys.simulator().run_until(sim::kTimeNever);
+
+  ASSERT_GE(released_at, 0);
+  // The triggered checkpointing needs two serialized 2 s transfers
+  // (P2 and its dependency P1) before the commit decision.
+  EXPECT_GE(released_at, sim::milliseconds(100) + sim::seconds(4));
+  EXPECT_EQ(committer.pending(), 0u);
+  EXPECT_EQ(committer.released(), 1u);
+  EXPECT_TRUE(sys.check_consistency().consistent);
+}
+
+TEST(OutputCommit, DelayTracksNminTimesTch) {
+  // With no dependencies the output-commit delay is one checkpoint
+  // transfer (~2 s), the paper's N_min * T_ch with N_min = 1. (P0 has a
+  // send event so its state is not covered by the initial checkpoint.)
+  System sys(options(4));
+  OutputCommitter committer(sys);
+  sys.simulator().schedule_at(sim::milliseconds(10),
+                              [&sys] { sys.send(0, 1); });
+  sys.simulator().schedule_at(sim::milliseconds(100), [&] {
+    committer.request(0, nullptr);
+  });
+  sys.simulator().run_until(sim::kTimeNever);
+  ASSERT_EQ(committer.delays_s().count(), 1u);
+  EXPECT_NEAR(committer.delays_s().mean(), 2.0, 0.2);
+}
+
+TEST(OutputCommit, MultipleOutputsShareOneInitiation) {
+  System sys(options(4));
+  OutputCommitter committer(sys);
+  int released = 0;
+  sys.simulator().schedule_at(sim::milliseconds(100), [&] {
+    committer.request(0, [&](sim::SimTime) { ++released; });
+    committer.request(0, [&](sim::SimTime) { ++released; });
+  });
+  sys.simulator().run_until(sim::kTimeNever);
+  EXPECT_EQ(released, 2);
+  // One initiation suffices for both outputs of the same process.
+  EXPECT_EQ(sys.tracker().initiation_count(), 1u);
+}
+
+TEST(OutputCommit, LaterOutputNeedsLaterCheckpoint) {
+  System sys(options(4));
+  OutputCommitter committer(sys);
+  int released = 0;
+  sys.simulator().schedule_at(sim::milliseconds(100), [&] {
+    committer.request(0, [&](sim::SimTime) { ++released; });
+  });
+  // New events at P0 after the first initiation's checkpoint...
+  sys.simulator().schedule_at(sim::seconds(10), [&sys] { sys.send(0, 1); });
+  // ...so a second output requires a second initiation.
+  sys.simulator().schedule_at(sim::seconds(11), [&] {
+    committer.request(0, [&](sim::SimTime) { ++released; });
+  });
+  sys.simulator().run_until(sim::kTimeNever);
+  EXPECT_EQ(released, 2);
+  EXPECT_EQ(sys.tracker().initiation_count(), 2u);
+  EXPECT_TRUE(sys.check_consistency().consistent);
+}
+
+}  // namespace
+}  // namespace mck

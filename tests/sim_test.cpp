@@ -1,0 +1,140 @@
+// Unit tests for the discrete-event engine and RNG.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace mck::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), milliseconds(30));
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedSchedulingFromEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1), [&] {
+    ++fired;
+    sim.schedule_after(seconds(1), [&] { ++fired; });
+  });
+  sim.run_until();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), seconds(2));
+}
+
+TEST(Simulator, RunUntilHorizonStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1), [&] { ++fired; });
+  sim.schedule_at(seconds(10), [&] { ++fired; });
+  sim.run_until(seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), seconds(5));
+  sim.run_until(kTimeNever);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_at(seconds(1), [&] { ++fired; });
+  h.cancel();
+  sim.schedule_at(seconds(2), [&] { ++fired; });
+  sim.run_until();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RequestStopHaltsLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1), [&] {
+    ++fired;
+    sim.request_stop();
+  });
+  sim.schedule_at(seconds(2), [&] { ++fired; });
+  sim.run_until();
+  EXPECT_EQ(fired, 1);
+  sim.run_until();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(milliseconds(i), [] {});
+  }
+  sim.run_until();
+  EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  // Different seeds diverge (overwhelmingly likely on a wide range).
+  bool diverged = false;
+  Rng a2(42), c2(43);
+  for (int i = 0; i < 8; ++i) {
+    if (a2.uniform_int(0, 1 << 30) != c2.uniform_int(0, 1 << 30)) {
+      diverged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(diverged);
+  (void)c;
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng rng(1);
+  const SimTime mean = seconds(10);
+  double sum = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += to_seconds(rng.exponential(mean));
+  }
+  double measured = sum / kSamples;
+  EXPECT_NEAR(measured, 10.0, 0.5);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    lo = lo || v == 3;
+    hi = hi || v == 7;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Time, ConversionsRoundTrip) {
+  EXPECT_EQ(milliseconds(4), from_seconds(0.004));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(900)), 900.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(microseconds(2500)), 2.5);
+}
+
+}  // namespace
+}  // namespace mck::sim

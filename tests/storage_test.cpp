@@ -1,0 +1,96 @@
+// Stable-storage occupancy (Section 6): "In the coordinated checkpointing
+// algorithm presented in this paper, most of the time, each process needs
+// to store only one permanent checkpoint on the stable storage and at most
+// two checkpoints: a permanent and a tentative (or mutable) checkpoint
+// only for the duration of the checkpointing." Verified as an invariant,
+// and contrasted with uncoordinated hoarding.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/system.hpp"
+#include "workload/traffic.hpp"
+
+namespace mck {
+namespace {
+
+using harness::Algorithm;
+using harness::System;
+using harness::SystemOptions;
+
+TEST(Storage, SupersededPermanentIsReclaimed) {
+  ckpt::CheckpointStore store(2);
+  store.set_auto_gc(true);
+  ckpt::CkptRef a = store.take(0, ckpt::CkptKind::kTentative, 1, 1, 2, 100);
+  store.make_permanent(a, 150);
+  EXPECT_EQ(store.stable_live_at(0, 200), 1u);
+
+  ckpt::CkptRef b = store.take(0, ckpt::CkptKind::kTentative, 2, 2, 5, 300);
+  // During the checkpointing: permanent + tentative coexist.
+  EXPECT_EQ(store.stable_live_at(0, 310), 2u);
+  store.make_permanent(b, 350);
+  // The old permanent was garbage collected.
+  EXPECT_EQ(store.stable_live_at(0, 400), 1u);
+  EXPECT_EQ(store.get(a).gc_at, 350);
+  EXPECT_EQ(store.peak_stable_occupancy(), 2u);
+}
+
+TEST(Storage, NoGcKeepsHistory) {
+  ckpt::CheckpointStore store(1);  // auto_gc off by default
+  for (int i = 0; i < 4; ++i) {
+    ckpt::CkptRef r = store.take(0, ckpt::CkptKind::kTentative,
+                                 static_cast<Csn>(i + 1), 0,
+                                 static_cast<std::uint64_t>(i), 100 * (i + 1));
+    store.make_permanent(r, 100 * (i + 1) + 10);
+  }
+  EXPECT_EQ(store.stable_live_at(0, 1000), 4u);
+}
+
+TEST(Storage, CoordinatedPeakOccupancyIsTwo) {
+  // The paper's Section 6 bound, measured over long randomized runs for
+  // every coordinated algorithm.
+  for (Algorithm algo : {Algorithm::kCaoSinghal, Algorithm::kKooToueg,
+                         Algorithm::kElnozahy}) {
+    harness::ExperimentConfig cfg;
+    cfg.sys.algorithm = algo;
+    cfg.sys.num_processes = 8;
+    cfg.sys.seed = 2;
+    cfg.rate = 0.3;
+    cfg.ckpt_interval = sim::seconds(300);
+    cfg.horizon = sim::seconds(3600);
+
+    // Re-run with store access.
+    System sys(cfg.sys);
+    workload::PointToPointWorkload wl(
+        sys.simulator(), sys.rng(), sys.n(), cfg.rate,
+        [&sys](ProcessId a, ProcessId b) { sys.send(a, b); });
+    wl.start(cfg.horizon);
+    harness::SchedulerOptions so;
+    so.interval = cfg.ckpt_interval;
+    harness::CheckpointScheduler sched(sys, so);
+    sched.start(cfg.horizon);
+    sys.simulator().run_until(sim::kTimeNever);
+
+    EXPECT_GT(sys.stats().permanent_made, 8u) << harness::to_string(algo);
+    EXPECT_LE(sys.store().peak_stable_occupancy(), 2u)
+        << harness::to_string(algo);
+  }
+}
+
+TEST(Storage, UncoordinatedHoardsCheckpoints) {
+  SystemOptions opts;
+  opts.num_processes = 4;
+  opts.algorithm = Algorithm::kUncoordinated;
+  opts.seed = 6;
+  System sys(opts);
+  workload::PointToPointWorkload wl(
+      sys.simulator(), sys.rng(), sys.n(), 0.5,
+      [&sys](ProcessId a, ProcessId b) { sys.send(a, b); });
+  wl.start(sim::seconds(1800));
+  sys.simulator().run_until(sim::kTimeNever);
+  // Dozens of checkpoints pile up per process — the Section 6 storage
+  // criticism of uncoordinated approaches.
+  EXPECT_GT(sys.store().stable_live_at(0, sys.simulator().now()), 10u);
+}
+
+}  // namespace
+}  // namespace mck

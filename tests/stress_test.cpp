@@ -1,0 +1,151 @@
+// Stress tests: larger systems, deep dependency chains (hundreds of
+// weight halvings — the reason Weight is arbitrary precision), and
+// long-horizon runs.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/system.hpp"
+#include "workload/traffic.hpp"
+
+namespace mck {
+namespace {
+
+using harness::Algorithm;
+using harness::System;
+using harness::SystemOptions;
+using workload::ScriptStep;
+using K = ScriptStep::Kind;
+
+TEST(Stress, DeepDependencyChainTerminatesExactly) {
+  // P0 <- P1 <- ... <- P31: the initiator's weight is halved down a
+  // 31-deep request chain; termination detection must still reach
+  // exactly 1.
+  const int n = 32;
+  SystemOptions opts;
+  opts.num_processes = n;
+  opts.algorithm = Algorithm::kCaoSinghal;
+  System sys(opts);
+
+  std::vector<ScriptStep> steps;
+  for (int i = 0; i < n - 1; ++i) {
+    // P_i sends to P_{i+1}: P_{i+1} depends on P_i.
+    steps.push_back({sim::milliseconds(10 + i), K::kSend,
+                     static_cast<ProcessId>(i),
+                     static_cast<ProcessId>(i + 1)});
+  }
+  steps.push_back({sim::seconds(1), K::kInitiate,
+                   static_cast<ProcessId>(n - 1), -1});
+  workload::ScriptedWorkload wl(
+      sys.simulator(),
+      [&sys](ProcessId a, ProcessId b) { sys.send(a, b); },
+      [&sys](ProcessId p) { sys.initiate(p); });
+  wl.run(steps);
+  sys.simulator().run_until(sim::kTimeNever);
+
+  auto inits = sys.tracker().in_order();
+  ASSERT_EQ(inits.size(), 1u);
+  EXPECT_TRUE(inits[0]->committed());
+  EXPECT_EQ(inits[0]->tentative, static_cast<std::uint32_t>(n));
+  EXPECT_FALSE(sys.any_coordination_active());
+  EXPECT_TRUE(sys.check_consistency().consistent);
+}
+
+TEST(Stress, StarTopologyFanOut) {
+  // Everyone sent to the hub; the hub's initiation requests all 47
+  // satellites at once (47 weight halvings in one prop_cp call).
+  const int n = 48;
+  SystemOptions opts;
+  opts.num_processes = n;
+  opts.algorithm = Algorithm::kCaoSinghal;
+  System sys(opts);
+  std::vector<ScriptStep> steps;
+  for (int i = 1; i < n; ++i) {
+    steps.push_back({sim::milliseconds(10 + i), K::kSend,
+                     static_cast<ProcessId>(i), 0});
+  }
+  steps.push_back({sim::seconds(1), K::kInitiate, 0, -1});
+  workload::ScriptedWorkload wl(
+      sys.simulator(),
+      [&sys](ProcessId a, ProcessId b) { sys.send(a, b); },
+      [&sys](ProcessId p) { sys.initiate(p); });
+  wl.run(steps);
+  sys.simulator().run_until(sim::kTimeNever);
+
+  auto inits = sys.tracker().in_order();
+  ASSERT_EQ(inits.size(), 1u);
+  EXPECT_TRUE(inits[0]->committed());
+  EXPECT_EQ(inits[0]->tentative, static_cast<std::uint32_t>(n));
+  EXPECT_EQ(inits[0]->requests, static_cast<std::uint64_t>(n - 1));
+  EXPECT_TRUE(sys.check_consistency().consistent);
+}
+
+TEST(Stress, SixtyFourProcessLongRun) {
+  harness::ExperimentConfig cfg;
+  cfg.sys.algorithm = Algorithm::kCaoSinghal;
+  cfg.sys.num_processes = 64;
+  cfg.sys.seed = 11;
+  cfg.rate = 0.05;
+  cfg.ckpt_interval = sim::seconds(600);
+  cfg.horizon = sim::seconds(2 * 3600);
+
+  harness::RunResult res = harness::run_experiment(cfg);
+  EXPECT_TRUE(res.consistent);
+  EXPECT_GT(res.committed, 5u);
+  EXPECT_EQ(res.aborted, 0u);
+  EXPECT_GT(res.comp_msgs, 10000u);
+}
+
+TEST(Stress, AllAlgorithmsSurviveHighRate) {
+  for (Algorithm algo :
+       {Algorithm::kCaoSinghal, Algorithm::kKooToueg, Algorithm::kElnozahy,
+        Algorithm::kChandyLamport}) {
+    harness::ExperimentConfig cfg;
+    cfg.sys.algorithm = algo;
+    cfg.sys.num_processes = 12;
+    cfg.sys.seed = 5;
+    cfg.rate = 2.0;  // ~24 msgs/s system-wide
+    cfg.ckpt_interval = sim::seconds(300);
+    cfg.horizon = sim::seconds(1800);
+    harness::RunResult res = harness::run_experiment(cfg);
+    EXPECT_TRUE(res.consistent) << harness::to_string(algo);
+    EXPECT_GT(res.committed, 0u) << harness::to_string(algo);
+  }
+}
+
+TEST(Stress, SharedMediumContentionStillConsistent) {
+  harness::ExperimentConfig cfg;
+  cfg.sys.algorithm = Algorithm::kCaoSinghal;
+  cfg.sys.num_processes = 16;
+  cfg.sys.lan.mode = net::MediumMode::kShared;
+  cfg.sys.seed = 8;
+  cfg.rate = 0.5;
+  cfg.ckpt_interval = sim::seconds(300);
+  cfg.horizon = sim::seconds(1800);
+  harness::RunResult res = harness::run_experiment(cfg);
+  EXPECT_TRUE(res.consistent);
+  EXPECT_GT(res.committed, 0u);
+  // Contention stretches the output-commit delay beyond the dedicated-
+  // medium figure.
+  EXPECT_GT(res.commit_delay_s.mean(), 2.0);
+}
+
+
+TEST(Stress, LossyWirelessLinksStayConsistent) {
+  // Intermittent wireless errors (Section 3.6) jitter every delay; the
+  // protocol must stay consistent, and the delayed requests give mutable
+  // checkpoints real work even on a LAN.
+  harness::ExperimentConfig cfg;
+  cfg.sys.algorithm = Algorithm::kCaoSinghal;
+  cfg.sys.num_processes = 12;
+  cfg.sys.lan.loss_probability = 0.3;
+  cfg.sys.seed = 77;
+  cfg.rate = 0.5;
+  cfg.ckpt_interval = sim::seconds(300);
+  cfg.horizon = sim::seconds(3600);
+  harness::RunResult res = harness::run_experiment(cfg);
+  EXPECT_TRUE(res.consistent);
+  EXPECT_GT(res.committed, 5u);
+}
+
+}  // namespace
+}  // namespace mck

@@ -1,0 +1,109 @@
+// Unit tests for the exact binary-fraction weight arithmetic that backs
+// the termination detection of Section 3.3.4.
+#include "util/weight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace mck::util {
+namespace {
+
+TEST(Weight, ZeroAndOne) {
+  EXPECT_TRUE(Weight::zero().is_zero());
+  EXPECT_FALSE(Weight::zero().is_one());
+  EXPECT_TRUE(Weight::one().is_one());
+  EXPECT_FALSE(Weight::one().is_zero());
+  EXPECT_DOUBLE_EQ(Weight::one().to_double(), 1.0);
+}
+
+TEST(Weight, HalveProducesExactHalf) {
+  Weight w = Weight::one();
+  w.halve();
+  EXPECT_DOUBLE_EQ(w.to_double(), 0.5);
+  w.halve();
+  EXPECT_DOUBLE_EQ(w.to_double(), 0.25);
+}
+
+TEST(Weight, SplitHalfConserves) {
+  Weight w = Weight::one();
+  Weight half = w.split_half();
+  EXPECT_EQ(w, half);
+  w.add(half);
+  EXPECT_TRUE(w.is_one());
+}
+
+TEST(Weight, DeepHalvingStaysExact) {
+  // Far deeper than 64 bits: request chains can halve hundreds of times.
+  Weight w = Weight::one();
+  const int kDepth = 500;
+  for (int i = 0; i < kDepth; ++i) w.halve();
+  EXPECT_FALSE(w.is_zero());
+  EXPECT_GT(w.fraction_limbs(), 7u);
+  // Doubling back up by repeated self-addition restores exactly one.
+  for (int i = 0; i < kDepth; ++i) {
+    Weight copy = w;
+    w.add(copy);
+  }
+  EXPECT_TRUE(w.is_one());
+}
+
+TEST(Weight, AdditionCarriesAcrossLimbs) {
+  Weight a = Weight::one();
+  for (int i = 0; i < 64; ++i) a.halve();  // exactly 2^-64
+  Weight sum = Weight::zero();
+  // 2^64 additions is too many; instead add two values whose sum carries:
+  // (1 - 2^-64) + 2^-64 == 1.
+  Weight almost_one = Weight::one();
+  Weight eps = a;
+  // almost_one = 1 - 2^-64 built by summing 2^-1 + ... + 2^-64.
+  Weight term = Weight::one();
+  Weight acc = Weight::zero();
+  for (int i = 0; i < 64; ++i) {
+    term.halve();
+    acc.add(term);
+  }
+  acc.add(eps);
+  EXPECT_TRUE(acc.is_one());
+  (void)almost_one;
+  (void)sum;
+}
+
+TEST(Weight, CompareTotalOrder) {
+  Weight a = Weight::one();
+  a.halve();  // 0.5
+  Weight b = Weight::one();
+  b.halve();
+  b.halve();  // 0.25
+  EXPECT_LT(b, a);
+  EXPECT_LT(a, Weight::one());
+  EXPECT_TRUE(b <= b);
+  EXPECT_EQ(a.compare(a), 0);
+}
+
+TEST(Weight, RandomSplitTreeConservesInvariant) {
+  // Simulates Lemma 2: split a unit weight along a random tree of
+  // "requests", then sum every leaf back; the invariant total == 1 must
+  // hold exactly.
+  std::mt19937_64 rng(7);
+  std::vector<Weight> outstanding;
+  outstanding.push_back(Weight::one());
+  for (int step = 0; step < 2000; ++step) {
+    std::size_t i = rng() % outstanding.size();
+    Weight half = outstanding[i].split_half();
+    outstanding.push_back(half);
+  }
+  Weight total = Weight::zero();
+  for (Weight& w : outstanding) total.add(w);
+  EXPECT_TRUE(total.is_one()) << total.to_string();
+}
+
+TEST(Weight, ToStringRendersHexFraction) {
+  Weight w = Weight::one();
+  w.halve();
+  EXPECT_EQ(w.to_string(), "0.8000000000000000");
+}
+
+}  // namespace
+}  // namespace mck::util

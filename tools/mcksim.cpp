@@ -1,0 +1,183 @@
+// mcksim — command-line driver for the mobile-checkpointing simulator.
+//
+//   mcksim [--algo NAME] [--n N] [--rate R] [--interval S] [--hours H]
+//          [--workload p2p|group] [--ratio X] [--groups G] [--seed S]
+//          [--reps R] [--transport lan|cellular] [--shared-medium]
+//          [--commit broadcast|update|hybrid] [--csv]
+//
+// Prints the paper's per-initiation metrics for one configuration;
+// --csv emits a machine-readable row instead.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+using namespace mck;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: mcksim [options]\n"
+               "  --algo NAME       cao-singhal | koo-toueg | elnozahy |\n"
+               "                    chandy-lamport | lai-yang | simple-scheme |\n"
+               "                    revised-scheme | uncoordinated\n"
+               "  --n N             number of processes (default 16)\n"
+               "  --rate R          msgs/s per process (default 0.01)\n"
+               "  --interval S      checkpoint interval seconds (default 900)\n"
+               "  --hours H         simulated hours (default 4)\n"
+               "  --workload KIND   p2p | group (default p2p)\n"
+               "  --ratio X         group intra/inter rate ratio (default 1000)\n"
+               "  --groups G        number of groups (default 4)\n"
+               "  --seed S          RNG seed (default 1)\n"
+               "  --reps R          repetitions merged (default 1)\n"
+               "  --transport T     lan | cellular (default lan)\n"
+               "  --shared-medium   802.11-style contention for messages\n"
+               "  --commit MODE     broadcast | update | hybrid\n"
+               "  --csv             one CSV row instead of the report\n");
+  std::exit(2);
+}
+
+harness::Algorithm parse_algo(const std::string& s) {
+  using A = harness::Algorithm;
+  for (A a : {A::kCaoSinghal, A::kKooToueg, A::kElnozahy,
+              A::kChandyLamport, A::kLaiYang, A::kSimpleScheme,
+              A::kRevisedScheme, A::kUncoordinated}) {
+    if (s == harness::to_string(a)) return a;
+  }
+  usage("unknown --algo");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ExperimentConfig cfg;
+  cfg.rate = 0.01;
+  int reps = 1;
+  bool csv = false;
+  double hours = 4.0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage("missing value");
+      return argv[++i];
+    };
+    if (arg == "--algo") {
+      cfg.sys.algorithm = parse_algo(next());
+    } else if (arg == "--n") {
+      cfg.sys.num_processes = std::atoi(next());
+      if (cfg.sys.num_processes < 2) usage("--n must be >= 2");
+    } else if (arg == "--rate") {
+      cfg.rate = std::atof(next());
+      if (cfg.rate <= 0) usage("--rate must be positive");
+    } else if (arg == "--interval") {
+      cfg.ckpt_interval = sim::from_seconds(std::atof(next()));
+    } else if (arg == "--hours") {
+      hours = std::atof(next());
+    } else if (arg == "--workload") {
+      std::string w = next();
+      if (w == "p2p") {
+        cfg.workload = harness::WorkloadKind::kPointToPoint;
+      } else if (w == "group") {
+        cfg.workload = harness::WorkloadKind::kGroup;
+      } else {
+        usage("unknown --workload");
+      }
+    } else if (arg == "--ratio") {
+      cfg.group_ratio = std::atof(next());
+    } else if (arg == "--groups") {
+      cfg.groups = std::atoi(next());
+    } else if (arg == "--seed") {
+      cfg.sys.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--reps") {
+      reps = std::atoi(next());
+    } else if (arg == "--transport") {
+      std::string t = next();
+      if (t == "lan") {
+        cfg.sys.transport = harness::TransportKind::kLan;
+      } else if (t == "cellular") {
+        cfg.sys.transport = harness::TransportKind::kCellular;
+      } else {
+        usage("unknown --transport");
+      }
+    } else if (arg == "--shared-medium") {
+      cfg.sys.lan.mode = net::MediumMode::kShared;
+    } else if (arg == "--commit") {
+      std::string m = next();
+      if (m == "broadcast") {
+        cfg.sys.cs.commit_mode = core::CommitMode::kBroadcast;
+      } else if (m == "update") {
+        cfg.sys.cs.commit_mode = core::CommitMode::kUpdate;
+      } else if (m == "hybrid") {
+        cfg.sys.cs.commit_mode = core::CommitMode::kHybrid;
+      } else {
+        usage("unknown --commit");
+      }
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage(("unknown option: " + arg).c_str());
+    }
+  }
+  cfg.horizon = sim::from_seconds(hours * 3600.0);
+
+  harness::RunResult res = harness::run_replicated(cfg, reps);
+
+  if (csv) {
+    std::printf(
+        "algo,n,rate,interval_s,hours,reps,initiations,committed,aborted,"
+        "tentative_per_init,redundant_mutable_per_init,commit_delay_s,"
+        "blocked_s_per_init,sys_msgs_per_init,comp_msgs,joules,consistent\n");
+    std::printf("%s,%d,%g,%g,%g,%d,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.4f,"
+                "%llu,%.2f,%d\n",
+                harness::to_string(cfg.sys.algorithm),
+                cfg.sys.num_processes, cfg.rate,
+                sim::to_seconds(cfg.ckpt_interval), hours, reps,
+                (unsigned long long)res.initiations,
+                (unsigned long long)res.committed,
+                (unsigned long long)res.aborted,
+                res.tentative_per_init.mean(),
+                res.redundant_mutable_per_init.mean(),
+                res.commit_delay_s.mean(), res.blocked_s_per_init.mean(),
+                res.sys_msgs_per_init.mean(),
+                (unsigned long long)res.comp_msgs,
+                res.stats.energy.total_joules(), res.consistent ? 1 : 0);
+    return res.consistent ? 0 : 1;
+  }
+
+  std::printf("mcksim: %s, N=%d, rate=%g msg/s, interval=%gs, %.1fh x %d reps\n\n",
+              harness::to_string(cfg.sys.algorithm), cfg.sys.num_processes,
+              cfg.rate, sim::to_seconds(cfg.ckpt_interval), hours, reps);
+  std::printf("initiations:            %llu (%llu committed, %llu aborted)\n",
+              (unsigned long long)res.initiations,
+              (unsigned long long)res.committed,
+              (unsigned long long)res.aborted);
+  std::printf("tentative ckpts/init:   %.3f +- %.3f\n",
+              res.tentative_per_init.mean(),
+              res.tentative_per_init.ci95_half_width());
+  std::printf("redundant mutable/init: %.3f +- %.3f\n",
+              res.redundant_mutable_per_init.mean(),
+              res.redundant_mutable_per_init.ci95_half_width());
+  std::printf("output commit delay:    %.3f s +- %.3f\n",
+              res.commit_delay_s.mean(),
+              res.commit_delay_s.ci95_half_width());
+  std::printf("  T_msg / T_data:       %.4f s / %.3f s (T_ch decomposition)\n",
+              res.t_msg_s.mean(), res.t_data_s.mean());
+  std::printf("blocked process-s/init: %.3f\n", res.blocked_s_per_init.mean());
+  std::printf("system msgs/init:       %.2f\n", res.sys_msgs_per_init.mean());
+  std::printf("computation messages:   %llu\n",
+              (unsigned long long)res.comp_msgs);
+  std::printf("forced checkpoints:     %llu\n",
+              (unsigned long long)res.forced_checkpoints);
+  std::printf("radio energy:           %.1f J\n",
+              res.stats.energy.total_joules());
+  std::printf("consistency:            %s (%zu lines checked)\n",
+              res.consistent ? "OK" : "VIOLATED", res.lines_checked);
+  return res.consistent ? 0 : 1;
+}
