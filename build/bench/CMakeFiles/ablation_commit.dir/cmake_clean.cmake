@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_commit.dir/ablation_commit.cpp.o"
+  "CMakeFiles/ablation_commit.dir/ablation_commit.cpp.o.d"
+  "ablation_commit"
+  "ablation_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

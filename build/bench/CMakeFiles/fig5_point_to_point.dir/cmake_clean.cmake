@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_point_to_point.dir/fig5_point_to_point.cpp.o"
+  "CMakeFiles/fig5_point_to_point.dir/fig5_point_to_point.cpp.o.d"
+  "fig5_point_to_point"
+  "fig5_point_to_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_point_to_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

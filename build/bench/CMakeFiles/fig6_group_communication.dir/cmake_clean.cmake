@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_group_communication.dir/fig6_group_communication.cpp.o"
+  "CMakeFiles/fig6_group_communication.dir/fig6_group_communication.cpp.o.d"
+  "fig6_group_communication"
+  "fig6_group_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_group_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

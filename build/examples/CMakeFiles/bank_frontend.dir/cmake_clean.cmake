@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_frontend.dir/bank_frontend.cpp.o"
+  "CMakeFiles/bank_frontend.dir/bank_frontend.cpp.o.d"
+  "bank_frontend"
+  "bank_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

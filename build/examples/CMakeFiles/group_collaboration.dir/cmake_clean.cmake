@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_collaboration.dir/group_collaboration.cpp.o"
+  "CMakeFiles/group_collaboration.dir/group_collaboration.cpp.o.d"
+  "group_collaboration"
+  "group_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

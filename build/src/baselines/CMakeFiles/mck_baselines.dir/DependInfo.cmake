@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/chandy_lamport.cpp" "src/baselines/CMakeFiles/mck_baselines.dir/chandy_lamport.cpp.o" "gcc" "src/baselines/CMakeFiles/mck_baselines.dir/chandy_lamport.cpp.o.d"
+  "/root/repo/src/baselines/csn_schemes.cpp" "src/baselines/CMakeFiles/mck_baselines.dir/csn_schemes.cpp.o" "gcc" "src/baselines/CMakeFiles/mck_baselines.dir/csn_schemes.cpp.o.d"
+  "/root/repo/src/baselines/elnozahy.cpp" "src/baselines/CMakeFiles/mck_baselines.dir/elnozahy.cpp.o" "gcc" "src/baselines/CMakeFiles/mck_baselines.dir/elnozahy.cpp.o.d"
+  "/root/repo/src/baselines/koo_toueg.cpp" "src/baselines/CMakeFiles/mck_baselines.dir/koo_toueg.cpp.o" "gcc" "src/baselines/CMakeFiles/mck_baselines.dir/koo_toueg.cpp.o.d"
+  "/root/repo/src/baselines/lai_yang.cpp" "src/baselines/CMakeFiles/mck_baselines.dir/lai_yang.cpp.o" "gcc" "src/baselines/CMakeFiles/mck_baselines.dir/lai_yang.cpp.o.d"
+  "/root/repo/src/baselines/uncoordinated.cpp" "src/baselines/CMakeFiles/mck_baselines.dir/uncoordinated.cpp.o" "gcc" "src/baselines/CMakeFiles/mck_baselines.dir/uncoordinated.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/mck_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/mck_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mck_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_baselines.dir/chandy_lamport.cpp.o"
+  "CMakeFiles/mck_baselines.dir/chandy_lamport.cpp.o.d"
+  "CMakeFiles/mck_baselines.dir/csn_schemes.cpp.o"
+  "CMakeFiles/mck_baselines.dir/csn_schemes.cpp.o.d"
+  "CMakeFiles/mck_baselines.dir/elnozahy.cpp.o"
+  "CMakeFiles/mck_baselines.dir/elnozahy.cpp.o.d"
+  "CMakeFiles/mck_baselines.dir/koo_toueg.cpp.o"
+  "CMakeFiles/mck_baselines.dir/koo_toueg.cpp.o.d"
+  "CMakeFiles/mck_baselines.dir/lai_yang.cpp.o"
+  "CMakeFiles/mck_baselines.dir/lai_yang.cpp.o.d"
+  "CMakeFiles/mck_baselines.dir/uncoordinated.cpp.o"
+  "CMakeFiles/mck_baselines.dir/uncoordinated.cpp.o.d"
+  "libmck_baselines.a"
+  "libmck_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/checker.cpp" "src/ckpt/CMakeFiles/mck_ckpt.dir/checker.cpp.o" "gcc" "src/ckpt/CMakeFiles/mck_ckpt.dir/checker.cpp.o.d"
+  "/root/repo/src/ckpt/clock_oracle.cpp" "src/ckpt/CMakeFiles/mck_ckpt.dir/clock_oracle.cpp.o" "gcc" "src/ckpt/CMakeFiles/mck_ckpt.dir/clock_oracle.cpp.o.d"
+  "/root/repo/src/ckpt/event_log.cpp" "src/ckpt/CMakeFiles/mck_ckpt.dir/event_log.cpp.o" "gcc" "src/ckpt/CMakeFiles/mck_ckpt.dir/event_log.cpp.o.d"
+  "/root/repo/src/ckpt/recovery.cpp" "src/ckpt/CMakeFiles/mck_ckpt.dir/recovery.cpp.o" "gcc" "src/ckpt/CMakeFiles/mck_ckpt.dir/recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mck_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_ckpt.dir/checker.cpp.o"
+  "CMakeFiles/mck_ckpt.dir/checker.cpp.o.d"
+  "CMakeFiles/mck_ckpt.dir/clock_oracle.cpp.o"
+  "CMakeFiles/mck_ckpt.dir/clock_oracle.cpp.o.d"
+  "CMakeFiles/mck_ckpt.dir/event_log.cpp.o"
+  "CMakeFiles/mck_ckpt.dir/event_log.cpp.o.d"
+  "CMakeFiles/mck_ckpt.dir/recovery.cpp.o"
+  "CMakeFiles/mck_ckpt.dir/recovery.cpp.o.d"
+  "libmck_ckpt.a"
+  "libmck_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_core.dir/cao_singhal.cpp.o"
+  "CMakeFiles/mck_core.dir/cao_singhal.cpp.o.d"
+  "CMakeFiles/mck_core.dir/codec.cpp.o"
+  "CMakeFiles/mck_core.dir/codec.cpp.o.d"
+  "libmck_core.a"
+  "libmck_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_harness.dir/experiment.cpp.o"
+  "CMakeFiles/mck_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/mck_harness.dir/output_commit.cpp.o"
+  "CMakeFiles/mck_harness.dir/output_commit.cpp.o.d"
+  "CMakeFiles/mck_harness.dir/scheduler.cpp.o"
+  "CMakeFiles/mck_harness.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mck_harness.dir/system.cpp.o"
+  "CMakeFiles/mck_harness.dir/system.cpp.o.d"
+  "libmck_harness.a"
+  "libmck_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_mobile.dir/cellular.cpp.o"
+  "CMakeFiles/mck_mobile.dir/cellular.cpp.o.d"
+  "CMakeFiles/mck_mobile.dir/mobility.cpp.o"
+  "CMakeFiles/mck_mobile.dir/mobility.cpp.o.d"
+  "libmck_mobile.a"
+  "libmck_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmck_mobile.a"
+)

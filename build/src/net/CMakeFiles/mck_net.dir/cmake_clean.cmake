@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_net.dir/lan.cpp.o"
+  "CMakeFiles/mck_net.dir/lan.cpp.o.d"
+  "libmck_net.a"
+  "libmck_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

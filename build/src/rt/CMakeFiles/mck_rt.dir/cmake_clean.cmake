@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_rt.dir/protocol.cpp.o"
+  "CMakeFiles/mck_rt.dir/protocol.cpp.o.d"
+  "libmck_rt.a"
+  "libmck_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mck_sim.dir/simulator.cpp.o.d"
+  "libmck_sim.a"
+  "libmck_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_util.dir/weight.cpp.o"
+  "CMakeFiles/mck_util.dir/weight.cpp.o.d"
+  "libmck_util.a"
+  "libmck_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mck_workload.dir/traffic.cpp.o"
+  "CMakeFiles/mck_workload.dir/traffic.cpp.o.d"
+  "libmck_workload.a"
+  "libmck_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mck_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cao_singhal_test.dir/cao_singhal_test.cpp.o"
+  "CMakeFiles/cao_singhal_test.dir/cao_singhal_test.cpp.o.d"
+  "cao_singhal_test"
+  "cao_singhal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cao_singhal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_oracle_test.dir/clock_oracle_test.cpp.o"
+  "CMakeFiles/clock_oracle_test.dir/clock_oracle_test.cpp.o.d"
+  "clock_oracle_test"
+  "clock_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

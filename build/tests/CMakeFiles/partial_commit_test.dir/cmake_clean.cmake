@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_commit_test.dir/partial_commit_test.cpp.o"
+  "CMakeFiles/partial_commit_test.dir/partial_commit_test.cpp.o.d"
+  "partial_commit_test"
+  "partial_commit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

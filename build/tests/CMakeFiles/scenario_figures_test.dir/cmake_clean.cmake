@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_figures_test.dir/scenario_figures_test.cpp.o"
+  "CMakeFiles/scenario_figures_test.dir/scenario_figures_test.cpp.o.d"
+  "scenario_figures_test"
+  "scenario_figures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stress_test.cpp" "tests/CMakeFiles/stress_test.dir/stress_test.cpp.o" "gcc" "tests/CMakeFiles/stress_test.dir/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mck_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mck_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobile/CMakeFiles/mck_mobile.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mck_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/mck_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/mck_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

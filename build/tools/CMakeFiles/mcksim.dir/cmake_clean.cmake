@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcksim.dir/mcksim.cpp.o"
+  "CMakeFiles/mcksim.dir/mcksim.cpp.o.d"
+  "mcksim"
+  "mcksim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
