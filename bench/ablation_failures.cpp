@@ -86,7 +86,11 @@ Outcome run(core::FailureMode mode, double mtbf_s, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  // Single seeded runs per configuration (no replication), so --jobs has
+  // nothing to parallelize here; both flags are still accepted so every
+  // bench driver shares one command line.
+  bool quick = bench::has_flag(argc, argv, "--quick");
+  (void)bench::jobs_arg(argc, argv);
   (void)quick;
 
   bench::banner(

@@ -16,7 +16,8 @@
 using namespace mck;
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = bench::has_flag(argc, argv, "--quick");
+  int jobs = bench::jobs_arg(argc, argv);
 
   bench::banner(
       "Ablation C - request filters (Sections 3.1.3, 3.3.2)\n"
@@ -48,7 +49,8 @@ int main(int argc, char** argv) {
       cfg.rate = rate;
       cfg.ckpt_interval = sim::seconds(900);
       cfg.horizon = sim::seconds(quick ? 3600 : 2 * 3600);
-      harness::RunResult res = harness::run_replicated(cfg, quick ? 1 : 3);
+      harness::RunResult res =
+          harness::run_replicated(cfg, quick ? 1 : 3, jobs);
 
       double req_per_init =
           res.committed > 0

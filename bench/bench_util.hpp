@@ -1,13 +1,35 @@
 // Shared helpers for the figure/table regeneration binaries.
+//
+// Every driver takes `--quick` (shorter horizon, fewer reps) and
+// `--jobs N` (replication worker threads; default MCK_JOBS env, else 1).
+// The job count never changes the numbers, only the wall-clock time.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "harness/experiment.hpp"
 #include "stats/table.hpp"
 
 namespace mck::bench {
+
+/// True if `name` appears among the arguments.
+inline bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+/// Value of `--jobs N`, or 0 (= harness::resolve_jobs default) if absent.
+inline int jobs_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) return std::atoi(argv[i + 1]);
+  }
+  return 0;
+}
 
 /// "mean +- ci" cell.
 inline std::string mean_ci(const stats::Welford& w) {

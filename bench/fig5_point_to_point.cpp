@@ -18,7 +18,7 @@ using namespace mck;
 
 namespace {
 
-void panel(const char* title, bool quick, bool realistic_radio) {
+void panel(const char* title, bool quick, int jobs, bool realistic_radio) {
   bench::banner(title);
 
   const double rates[] = {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1};
@@ -42,7 +42,7 @@ void panel(const char* title, bool quick, bool realistic_radio) {
       cfg.sys.lan.loss_probability = 0.10;
     }
 
-    harness::RunResult res = harness::run_replicated(cfg, reps);
+    harness::RunResult res = harness::run_replicated(cfg, reps, jobs);
 
     double pct = res.tentative_per_init.mean() > 0
                      ? 100.0 * res.redundant_mutable_per_init.mean() /
@@ -61,16 +61,17 @@ void panel(const char* title, bool quick, bool realistic_radio) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = bench::has_flag(argc, argv, "--quick");
+  int jobs = bench::jobs_arg(argc, argv);
 
   panel(
       "Fig. 5 - checkpoints per initiation vs message sending rate\n"
       "point-to-point communication, N = 16, interval = 900 s",
-      quick, /*realistic_radio=*/false);
+      quick, jobs, /*realistic_radio=*/false);
   panel(
       "Fig. 5 variant - same sweep under 802.11 contention + 10% frame\n"
       "loss (wider request/message race window)",
-      quick, /*realistic_radio=*/true);
+      quick, jobs, /*realistic_radio=*/true);
 
   std::printf(
       "\nPaper's observations to compare against:\n"

@@ -13,7 +13,7 @@ using namespace mck;
 
 namespace {
 
-void panel(double ratio, bool quick) {
+void panel(double ratio, bool quick, int jobs) {
   char title[128];
   std::snprintf(title, sizeof title,
                 "Fig. 6 (%s) - group communication, intragroup/intergroup "
@@ -39,7 +39,7 @@ void panel(double ratio, bool quick) {
     cfg.ckpt_interval = sim::seconds(900);
     cfg.horizon = sim::seconds(quick ? 2 * 3600 : 4 * 3600);
 
-    harness::RunResult res = harness::run_replicated(cfg, reps);
+    harness::RunResult res = harness::run_replicated(cfg, reps, jobs);
     double pct = res.tentative_per_init.mean() > 0
                      ? 100.0 * res.redundant_mutable_per_init.mean() /
                            res.tentative_per_init.mean()
@@ -56,9 +56,10 @@ void panel(double ratio, bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  panel(1000.0, quick);
-  panel(10000.0, quick);
+  bool quick = bench::has_flag(argc, argv, "--quick");
+  int jobs = bench::jobs_arg(argc, argv);
+  panel(1000.0, quick, jobs);
+  panel(10000.0, quick, jobs);
   std::printf(
       "\nPaper's observations to compare against:\n"
       " * fewer checkpoints than point-to-point at the same rate (the\n"

@@ -32,7 +32,8 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = bench::has_flag(argc, argv, "--quick");
+  int jobs = bench::jobs_arg(argc, argv);
 
   const Row rows[] = {
       {"Koo-Toueg [19]", harness::Algorithm::kKooToueg, "N_min",
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
       cfg.ckpt_interval = sim::seconds(900);
       cfg.horizon = sim::seconds(quick ? 2 * 3600 : 4 * 3600);
       harness::RunResult res =
-          harness::run_replicated(cfg, quick ? 2 : 4);
+          harness::run_replicated(cfg, quick ? 2 : 4, jobs);
 
       table.add_row(
           {row.name,

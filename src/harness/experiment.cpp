@@ -1,6 +1,10 @@
 #include "harness/experiment.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "util/assert.hpp"
 #include "workload/traffic.hpp"
@@ -26,7 +30,7 @@ void RunResult::merge(const RunResult& o) {
   orphans += o.orphans;
   lines_checked += o.lines_checked;
 
-  for (int k = 0; k < 8; ++k) {
+  for (int k = 0; k < rt::kMsgKindCount; ++k) {
     stats.msgs_sent[k] += o.stats.msgs_sent[k];
     stats.bytes_sent[k] += o.stats.bytes_sent[k];
   }
@@ -130,13 +134,70 @@ RunResult run_experiment(const ExperimentConfig& config) {
   return result;
 }
 
-RunResult run_replicated(ExperimentConfig config, int reps) {
-  RunResult total;
-  for (int r = 0; r < reps; ++r) {
-    config.sys.seed = config.sys.seed + 1;
-    RunResult one = run_experiment(config);
-    total.merge(one);
+namespace {
+
+// SplitMix64 finalizer (Steele/Lea/Flood, JPDC 2014): a bijective 64-bit
+// mix whose outputs pass BigCrush even on consecutive inputs.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t replication_seed(std::uint64_t base, int rep) {
+  MCK_ASSERT(rep >= 0);
+  if (rep == 0) return base;
+  // The rep-th output of a SplitMix64 generator seeded at `base`: the
+  // streams of two different base seeds never track each other the way
+  // base+1, base+2, ... did.
+  return splitmix64(base +
+                    0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rep - 1));
+}
+
+int resolve_jobs(int jobs) {
+  if (jobs >= 1) return jobs;
+  if (const char* env = std::getenv("MCK_JOBS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
   }
+  return 1;
+}
+
+RunResult run_replicated(ExperimentConfig config, int reps, int jobs) {
+  MCK_ASSERT(reps >= 0);
+  jobs = resolve_jobs(jobs);
+
+  // Each replication is an independent simulation (its System owns the
+  // event queue, RNG, stats, and transport), so they parallelize with no
+  // shared mutable state; results land in a per-rep slot and merge in
+  // rep-index order, making the aggregate independent of the job count.
+  std::vector<RunResult> results(static_cast<std::size_t>(reps));
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      int r = next.fetch_add(1, std::memory_order_relaxed);
+      if (r >= reps) return;
+      ExperimentConfig c = config;
+      c.sys.seed = replication_seed(config.sys.seed, r);
+      results[static_cast<std::size_t>(r)] = run_experiment(c);
+    }
+  };
+
+  int workers = jobs < reps ? jobs : reps;
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  RunResult total;
+  for (const RunResult& one : results) total.merge(one);
   return total;
 }
 

@@ -58,7 +58,21 @@ struct RunResult {
 
 RunResult run_experiment(const ExperimentConfig& config);
 
-/// Runs `reps` repetitions with seeds seed, seed+1, ... and merges.
-RunResult run_replicated(ExperimentConfig config, int reps);
+/// Seed for replication `rep` of a run with base seed `base`. Rep 0 runs
+/// the base seed itself; later reps mix (base, rep) through SplitMix64 so
+/// every replication gets an independent RNG stream — two configs with
+/// adjacent base seeds share none of their replicate streams (the old
+/// `seed+rep` scheme shared almost all of them).
+std::uint64_t replication_seed(std::uint64_t base, int rep);
+
+/// Resolves a worker count: values >= 1 are used as-is; 0 (the default)
+/// reads the MCK_JOBS environment variable, falling back to 1 (serial).
+int resolve_jobs(int jobs);
+
+/// Runs `reps` repetitions with seeds replication_seed(seed, 0..reps-1)
+/// and merges them in rep-index order. Replications are independent
+/// simulations, so with `jobs` > 1 they run on a worker pool; the merge
+/// order is fixed, so the aggregate is bit-identical for any job count.
+RunResult run_replicated(ExperimentConfig config, int reps, int jobs = 0);
 
 }  // namespace mck::harness

@@ -44,8 +44,8 @@ struct TimingConfig {
 
 /// Global run counters, shared by all processes of a run.
 struct RunStats {
-  std::uint64_t msgs_sent[8] = {};   // indexed by MsgKind
-  std::uint64_t bytes_sent[8] = {};
+  std::uint64_t msgs_sent[kMsgKindCount] = {};   // indexed by MsgKind
+  std::uint64_t bytes_sent[kMsgKindCount] = {};
   std::uint64_t deliveries = 0;
 
   std::uint64_t tentative_taken = 0;
@@ -67,12 +67,12 @@ struct RunStats {
 
   std::uint64_t system_msgs() const {
     std::uint64_t n = 0;
-    for (int k = 1; k < 8; ++k) n += msgs_sent[k];
+    for (int k = 1; k < kMsgKindCount; ++k) n += msgs_sent[k];
     return n;
   }
   std::uint64_t system_bytes() const {
     std::uint64_t n = 0;
-    for (int k = 1; k < 8; ++k) n += bytes_sent[k];
+    for (int k = 1; k < kMsgKindCount; ++k) n += bytes_sent[k];
     return n;
   }
 };

@@ -1,21 +1,42 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace mck::sim {
 
 EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
   MCK_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  // Compact once tombstones are both numerous and the majority of the
+  // queue; keeps schedule/pop amortized O(log live) even under heavy
+  // cancellation (retry timers, cancelled timeouts).
+  if (*pending_cancelled_ > 64 && *pending_cancelled_ * 2 > heap_.size()) {
+    purge_cancelled();
+  }
   auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{at, next_seq_++, std::move(fn), flag});
-  return EventHandle(std::move(flag));
+  heap_.push_back(Event{at, next_seq_++, std::move(fn), flag});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle(std::move(flag), pending_cancelled_);
+}
+
+Simulator::Event Simulator::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
 }
 
 bool Simulator::step(SimTime until) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.at > until) return false;
-    Event ev = top;
-    queue_.pop();
-    if (*ev.cancelled) continue;
+  while (!heap_.empty()) {
+    if (heap_.front().at > until) return false;
+    Event ev = pop_top();
+    if (*ev.cancelled) {
+      ++tombstones_reaped_;
+      --*pending_cancelled_;
+      continue;
+    }
+    // Mark fired so a late EventHandle::cancel() is a no-op instead of
+    // miscounting a tombstone that is no longer queued.
+    *ev.cancelled = true;
     now_ = ev.at;
     ++executed_;
     ev.fn();
@@ -34,6 +55,16 @@ std::uint64_t Simulator::run_until(SimTime until) {
     now_ = until;  // time advances to the horizon even if idle
   }
   return n;
+}
+
+void Simulator::purge_cancelled() {
+  if (*pending_cancelled_ == 0) return;
+  tombstones_reaped_ += *pending_cancelled_;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [](const Event& e) { return *e.cancelled; }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  *pending_cancelled_ = 0;
 }
 
 }  // namespace mck::sim

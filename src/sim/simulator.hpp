@@ -8,7 +8,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -19,21 +18,31 @@ namespace mck::sim {
 using EventFn = std::function<void()>;
 
 /// Handle that allows cancelling a scheduled event. Cancellation is lazy:
-/// the event stays queued but becomes a no-op when it fires.
+/// the event stays queued as a tombstone that becomes a no-op when it
+/// fires; the simulator counts live tombstones and compacts the queue
+/// when they dominate it.
 class EventHandle {
  public:
   EventHandle() = default;
 
   bool valid() const { return cancelled_ != nullptr; }
   void cancel() {
-    if (cancelled_) *cancelled_ = true;
+    if (cancelled_ && !*cancelled_) {
+      *cancelled_ = true;
+      if (pending_cancelled_) ++*pending_cancelled_;
+    }
   }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> flag)
-      : cancelled_(std::move(flag)) {}
+  EventHandle(std::shared_ptr<bool> flag,
+              std::shared_ptr<std::uint64_t> pending)
+      : cancelled_(std::move(flag)), pending_cancelled_(std::move(pending)) {}
   std::shared_ptr<bool> cancelled_;
+  // Shared with the owning Simulator: number of cancelled events still
+  // sitting in its queue. Cancelling an already-fired event is a no-op
+  // because the simulator marks events cancelled as it pops them.
+  std::shared_ptr<std::uint64_t> pending_cancelled_;
 };
 
 class Simulator {
@@ -64,9 +73,17 @@ class Simulator {
   /// Stops the run loop after the current event finishes.
   void request_stop() { stop_requested_ = true; }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  /// Drops every cancelled tombstone from the queue. Called automatically
+  /// once tombstones dominate; public so tests (and long-lived sims with
+  /// bursty cancellation) can force compaction.
+  void purge_cancelled();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  /// Cancelled events still occupying queue slots.
+  std::uint64_t cancelled_pending() const { return *pending_cancelled_; }
   std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t tombstones_reaped() const { return tombstones_reaped_; }
 
  private:
   struct Event {
@@ -82,10 +99,19 @@ class Simulator {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Removes and returns the earliest queued event.
+  Event pop_top();
+
+  // Binary heap ordered by Later (std::push_heap/pop_heap), kept as a
+  // plain vector so events can be *moved* out on pop and tombstones can
+  // be compacted in place.
+  std::vector<Event> heap_;
   SimTime now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t tombstones_reaped_ = 0;
+  std::shared_ptr<std::uint64_t> pending_cancelled_ =
+      std::make_shared<std::uint64_t>(0);
   bool stop_requested_ = false;
 };
 

@@ -65,6 +65,63 @@ TEST(Simulator, CancelledEventDoesNotFire) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Simulator, CancelledEventsAreCountedAndReaped) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sim.schedule_at(seconds(i + 1), [&] { ++fired; }));
+  }
+  for (int i = 0; i < 4; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(sim.cancelled_pending(), 4u);
+  // Double-cancel must not double-count.
+  handles[0].cancel();
+  EXPECT_EQ(sim.cancelled_pending(), 4u);
+
+  sim.run_until();
+  EXPECT_EQ(fired, 6);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  EXPECT_EQ(sim.tombstones_reaped(), 4u);
+
+  // Cancelling after the event fired is a no-op, not a phantom tombstone.
+  handles[9].cancel();
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+TEST(Simulator, PurgeCancelledCompactsTheQueue) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(sim.schedule_at(seconds(i + 1), [&] { ++fired; }));
+  }
+  for (int i = 0; i < 100; i += 2) {
+    handles[static_cast<std::size_t>(i)].cancel();
+  }
+  EXPECT_EQ(sim.pending(), 100u);
+  sim.purge_cancelled();
+  EXPECT_EQ(sim.pending(), 50u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  sim.run_until();
+  EXPECT_EQ(fired, 50);  // survivors still fire, in order
+  EXPECT_EQ(sim.now(), seconds(100));
+}
+
+TEST(Simulator, TombstonesAutoPurgeUnderHeavyCancellation) {
+  // Cancel-heavy pattern (retry timers): the queue must not grow with
+  // the number of cancelled events.
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 5000; ++i) {
+    handles.push_back(sim.schedule_at(seconds(1000 + i), [] {}));
+    if (i >= 10) handles[static_cast<std::size_t>(i) - 10].cancel();
+  }
+  // 4990 of the 5000 events are tombstones; auto-compaction keeps the
+  // queue near the live count instead.
+  EXPECT_LT(sim.pending(), 200u);
+  sim.run_until();
+}
+
 TEST(Simulator, RequestStopHaltsLoop) {
   Simulator sim;
   int fired = 0;

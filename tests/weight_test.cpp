@@ -99,6 +99,61 @@ TEST(Weight, RandomSplitTreeConservesInvariant) {
   EXPECT_TRUE(total.is_one()) << total.to_string();
 }
 
+TEST(Weight, HalveZeroStaysZero) {
+  Weight w = Weight::zero();
+  w.halve();
+  EXPECT_TRUE(w.is_zero());
+  EXPECT_EQ(w.fraction_limbs(), 0u);  // no spurious zero limbs appended
+}
+
+TEST(Weight, SplitHalfOfZeroYieldsTwoZeros) {
+  Weight w = Weight::zero();
+  Weight half = w.split_half();
+  EXPECT_TRUE(w.is_zero());
+  EXPECT_TRUE(half.is_zero());
+}
+
+TEST(Weight, HalveCarriesIntoANewLimb) {
+  // 2^-64 is the least significant bit of the first limb; halving it
+  // must allocate a second limb holding 2^-65.
+  Weight w = Weight::one();
+  for (int i = 0; i < 64; ++i) w.halve();
+  ASSERT_EQ(w.fraction_limbs(), 1u);
+  EXPECT_EQ(w.raw_fraction()[0], 1u);
+  w.halve();
+  ASSERT_EQ(w.fraction_limbs(), 2u);
+  EXPECT_EQ(w.raw_fraction()[0], 0u);
+  EXPECT_EQ(w.raw_fraction()[1], 0x8000000000000000ull);
+}
+
+TEST(Weight, AddCarriesIntoTheIntegerPart) {
+  Weight a = Weight::one();
+  a.halve();  // 0.5
+  Weight b = a;
+  a.add(b);  // 0.5 + 0.5 == 1, fraction limbs fully carried away
+  EXPECT_TRUE(a.is_one());
+  EXPECT_EQ(a.fraction_limbs(), 0u);
+}
+
+TEST(Weight, AddUnequalPrecisions) {
+  // 2^-65 + (1 - 2^-65) == 1 exercises carry chains across limbs of
+  // different lengths in both argument orders.
+  Weight tiny = Weight::one();
+  for (int i = 0; i < 65; ++i) tiny.halve();
+  Weight rest = Weight::zero();
+  Weight term = Weight::one();
+  for (int i = 0; i < 65; ++i) {
+    term.halve();
+    rest.add(term);
+  }
+  Weight sum1 = tiny;
+  sum1.add(rest);
+  EXPECT_TRUE(sum1.is_one()) << sum1.to_string();
+  Weight sum2 = rest;
+  sum2.add(tiny);
+  EXPECT_TRUE(sum2.is_one()) << sum2.to_string();
+}
+
 TEST(Weight, ToStringRendersHexFraction) {
   Weight w = Weight::one();
   w.halve();

@@ -2,8 +2,8 @@
 //
 //   mcksim [--algo NAME] [--n N] [--rate R] [--interval S] [--hours H]
 //          [--workload p2p|group] [--ratio X] [--groups G] [--seed S]
-//          [--reps R] [--transport lan|cellular] [--shared-medium]
-//          [--commit broadcast|update|hybrid] [--csv]
+//          [--reps R] [--jobs N] [--transport lan|cellular]
+//          [--shared-medium] [--commit broadcast|update|hybrid] [--csv]
 //
 // Prints the paper's per-initiation metrics for one configuration;
 // --csv emits a machine-readable row instead.
@@ -34,6 +34,9 @@ namespace {
                "  --groups G        number of groups (default 4)\n"
                "  --seed S          RNG seed (default 1)\n"
                "  --reps R          repetitions merged (default 1)\n"
+               "  --jobs N          replication worker threads (default:\n"
+               "                    MCK_JOBS env var, else 1; results are\n"
+               "                    identical for any N)\n"
                "  --transport T     lan | cellular (default lan)\n"
                "  --shared-medium   802.11-style contention for messages\n"
                "  --commit MODE     broadcast | update | hybrid\n"
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
   harness::ExperimentConfig cfg;
   cfg.rate = 0.01;
   int reps = 1;
+  int jobs = 0;  // 0 = MCK_JOBS env, else serial
   bool csv = false;
   double hours = 4.0;
 
@@ -95,6 +99,9 @@ int main(int argc, char** argv) {
       cfg.sys.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--reps") {
       reps = std::atoi(next());
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next());
+      if (jobs < 1) usage("--jobs must be >= 1");
     } else if (arg == "--transport") {
       std::string t = next();
       if (t == "lan") {
@@ -127,7 +134,7 @@ int main(int argc, char** argv) {
   }
   cfg.horizon = sim::from_seconds(hours * 3600.0);
 
-  harness::RunResult res = harness::run_replicated(cfg, reps);
+  harness::RunResult res = harness::run_replicated(cfg, reps, jobs);
 
   if (csv) {
     std::printf(
