@@ -24,8 +24,15 @@ struct Outcome {
   bool consistent = true;
 };
 
+// Set from --wire-sizes / --wire-fidelity before the sweeps run.
+bool g_wire_sizes = false;
+bool g_wire_fidelity = false;
+
 Outcome run(core::FailureMode mode, double mtbf_s, std::uint64_t seed) {
   harness::SystemOptions opts;
+  opts.timing.use_wire_sizes = g_wire_sizes;
+  opts.timing.record_wire_bytes = g_wire_sizes;
+  opts.wire_fidelity = g_wire_fidelity;
   opts.num_processes = 12;
   opts.algorithm = harness::Algorithm::kCaoSinghal;
   opts.cs.failure_mode = mode;
@@ -92,6 +99,8 @@ int main(int argc, char** argv) {
   bool quick = bench::has_flag(argc, argv, "--quick");
   (void)bench::jobs_arg(argc, argv);
   (void)quick;
+  g_wire_sizes = bench::has_flag(argc, argv, "--wire-sizes");
+  g_wire_fidelity = bench::has_flag(argc, argv, "--wire-fidelity");
 
   bench::banner(
       "Failure ablation (Section 3.6) - abort-all vs Kim-Park partial "

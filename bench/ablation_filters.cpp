@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
       cfg.rate = rate;
       cfg.ckpt_interval = sim::seconds(900);
       cfg.horizon = sim::seconds(quick ? 3600 : 2 * 3600);
+      bench::apply_wire_flags(argc, argv, cfg);
       harness::RunResult res =
           harness::run_replicated(cfg, quick ? 1 : 3, jobs);
 

@@ -31,6 +31,18 @@ inline int jobs_arg(int argc, char** argv) {
   return 0;
 }
 
+/// Applies `--wire-sizes` (honest codec byte charging + per-kind wire-byte
+/// columns) and `--wire-fidelity` (codec round-trip on every hop) to a
+/// config. Every driver accepts both; see EXPERIMENTS.md.
+inline void apply_wire_flags(int argc, char** argv,
+                             harness::ExperimentConfig& cfg) {
+  if (has_flag(argc, argv, "--wire-sizes")) {
+    cfg.sys.timing.use_wire_sizes = true;
+    cfg.sys.timing.record_wire_bytes = true;
+  }
+  if (has_flag(argc, argv, "--wire-fidelity")) cfg.sys.wire_fidelity = true;
+}
+
 /// "mean +- ci" cell.
 inline std::string mean_ci(const stats::Welford& w) {
   char buf[64];

@@ -18,7 +18,8 @@ using namespace mck;
 
 namespace {
 
-void panel(const char* title, bool quick, int jobs, bool realistic_radio) {
+void panel(const char* title, bool quick, int jobs, bool realistic_radio,
+           int argc, char** argv) {
   bench::banner(title);
 
   const double rates[] = {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1};
@@ -41,6 +42,7 @@ void panel(const char* title, bool quick, int jobs, bool realistic_radio) {
       cfg.sys.lan.mode = net::MediumMode::kShared;
       cfg.sys.lan.loss_probability = 0.10;
     }
+    bench::apply_wire_flags(argc, argv, cfg);
 
     harness::RunResult res = harness::run_replicated(cfg, reps, jobs);
 
@@ -67,11 +69,11 @@ int main(int argc, char** argv) {
   panel(
       "Fig. 5 - checkpoints per initiation vs message sending rate\n"
       "point-to-point communication, N = 16, interval = 900 s",
-      quick, jobs, /*realistic_radio=*/false);
+      quick, jobs, /*realistic_radio=*/false, argc, argv);
   panel(
       "Fig. 5 variant - same sweep under 802.11 contention + 10% frame\n"
       "loss (wider request/message race window)",
-      quick, jobs, /*realistic_radio=*/true);
+      quick, jobs, /*realistic_radio=*/true, argc, argv);
 
   std::printf(
       "\nPaper's observations to compare against:\n"

@@ -13,7 +13,7 @@ using namespace mck;
 
 namespace {
 
-void panel(double ratio, bool quick, int jobs) {
+void panel(double ratio, bool quick, int jobs, int argc, char** argv) {
   char title[128];
   std::snprintf(title, sizeof title,
                 "Fig. 6 (%s) - group communication, intragroup/intergroup "
@@ -38,6 +38,7 @@ void panel(double ratio, bool quick, int jobs) {
     cfg.rate = rate;
     cfg.ckpt_interval = sim::seconds(900);
     cfg.horizon = sim::seconds(quick ? 2 * 3600 : 4 * 3600);
+    bench::apply_wire_flags(argc, argv, cfg);
 
     harness::RunResult res = harness::run_replicated(cfg, reps, jobs);
     double pct = res.tentative_per_init.mean() > 0
@@ -58,8 +59,8 @@ void panel(double ratio, bool quick, int jobs) {
 int main(int argc, char** argv) {
   bool quick = bench::has_flag(argc, argv, "--quick");
   int jobs = bench::jobs_arg(argc, argv);
-  panel(1000.0, quick, jobs);
-  panel(10000.0, quick, jobs);
+  panel(1000.0, quick, jobs, argc, argv);
+  panel(10000.0, quick, jobs, argc, argv);
   std::printf(
       "\nPaper's observations to compare against:\n"
       " * fewer checkpoints than point-to-point at the same rate (the\n"

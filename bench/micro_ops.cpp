@@ -7,8 +7,11 @@
 // alone the 2 s stable-storage transfer.
 #include <benchmark/benchmark.h>
 
+#include "baselines/payloads.hpp"
 #include "ckpt/event_log.hpp"
 #include "ckpt/store.hpp"
+#include "core/codec.hpp"
+#include "core/payloads.hpp"
 #include "sim/simulator.hpp"
 #include "util/bitvec.hpp"
 #include "util/weight.hpp"
@@ -114,6 +117,129 @@ void BM_OrphanScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OrphanScan);
+
+// --- wire codec hot path ------------------------------------------------
+// The codec runs per message in --wire-sizes mode (sizing) and twice per
+// message in --wire-fidelity mode (encode + decode), so regressions here
+// show up directly in simulation wall-clock.
+
+core::RequestPayload make_request(int n) {
+  core::RequestPayload p;
+  p.mr.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    p.mr[static_cast<std::size_t>(i)].csn = static_cast<Csn>(i * 3);
+    p.mr[static_cast<std::size_t>(i)].requested = (i % 2) ? 1 : 0;
+  }
+  p.sender_csn = 41;
+  p.trigger = core::Trigger{2, 7};
+  p.req_csn = 40;
+  p.weight = util::Weight::one();
+  for (int d = 0; d < 8; ++d) {
+    util::Weight half = p.weight.split_half();
+    benchmark::DoNotOptimize(half);
+  }
+  return p;
+}
+
+void BM_CodecEncodeRequest(benchmark::State& state) {
+  const core::RequestPayload p =
+      make_request(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::uint8_t> bytes = core::encode(p);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecEncodeRequest)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CodecDecodeRequest(benchmark::State& state) {
+  const std::vector<std::uint8_t> bytes =
+      core::encode(make_request(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    std::shared_ptr<rt::Payload> p = core::decode(bytes);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecDecodeRequest)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CodecRoundtripBaselines(benchmark::State& state) {
+  // One payload of every baseline family, round-tripped back to back —
+  // the wire-fidelity per-hop cost for the six comparison algorithms.
+  std::vector<std::shared_ptr<rt::Payload>> payloads;
+  {
+    auto kt = std::make_shared<baselines::KtRequest>();
+    kt->initiation = ckpt::make_initiation_id(3, 9);
+    kt->req_csn = 12;
+    payloads.push_back(kt);
+    auto ej = std::make_shared<baselines::EjRequest>();
+    ej->csn = 5;
+    ej->initiation = ckpt::make_initiation_id(1, 5);
+    payloads.push_back(ej);
+    auto cl = std::make_shared<baselines::ClMarker>();
+    cl->initiation = ckpt::make_initiation_id(0, 77);
+    payloads.push_back(cl);
+    auto ly = std::make_shared<baselines::LyAnnounce>();
+    ly->round = 4;
+    ly->initiation = ckpt::make_initiation_id(2, 4);
+    payloads.push_back(ly);
+    auto cs = std::make_shared<baselines::CsRequest>();
+    cs->initiation = ckpt::make_initiation_id(6, 2);
+    cs->req_csn = 8;
+    payloads.push_back(cs);
+  }
+  for (auto _ : state) {
+    for (const auto& p : payloads) {
+      std::shared_ptr<rt::Payload> back = core::decode(core::encode(*p));
+      benchmark::DoNotOptimize(back);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payloads.size()));
+}
+BENCHMARK(BM_CodecRoundtripBaselines);
+
+void BM_PayloadTagDispatch(benchmark::State& state) {
+  // The delivery-path downcast: tag compare + static_cast (replacing the
+  // seed's per-message dynamic_cast chain).
+  std::vector<rt::Message> msgs;
+  for (int i = 0; i < 64; ++i) {
+    rt::Message m;
+    switch (i % 3) {
+      case 0: {
+        auto p = std::make_shared<core::CompPayload>();
+        p->csn = static_cast<Csn>(i);
+        m.payload = p;
+        break;
+      }
+      case 1: {
+        auto p = std::make_shared<baselines::KtComp>();
+        p->csn = static_cast<Csn>(i);
+        m.payload = p;
+        break;
+      }
+      default: {
+        auto p = std::make_shared<baselines::CsComp>();
+        p->csn = static_cast<Csn>(i);
+        m.payload = p;
+        break;
+      }
+    }
+    msgs.push_back(std::move(m));
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const rt::Message& m : msgs) {
+      if (const auto* p = m.payload_as<core::CompPayload>()) sum += p->csn;
+      if (const auto* p = m.payload_as<baselines::KtComp>()) sum += p->csn;
+      if (const auto* p = m.payload_as<baselines::CsComp>()) sum += p->csn;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(msgs.size()));
+}
+BENCHMARK(BM_PayloadTagDispatch);
 
 }  // namespace
 

@@ -1,24 +1,9 @@
 #include "baselines/chandy_lamport.hpp"
 
+#include "baselines/payloads.hpp"
 #include "util/assert.hpp"
 
 namespace mck::baselines {
-
-namespace {
-
-struct ClMarker final : rt::Payload {
-  ckpt::InitiationId initiation = 0;
-};
-
-struct ClDone final : rt::Payload {  // reply: recording complete
-  ckpt::InitiationId initiation = 0;
-};
-
-struct ClCommit final : rt::Payload {
-  ckpt::InitiationId initiation = 0;
-};
-
-}  // namespace
 
 void ChandyLamportProtocol::start() {
   marker_seen_.assign(static_cast<std::size_t>(ctx_.num_processes), 0);
@@ -116,10 +101,10 @@ void ChandyLamportProtocol::handle_computation(const rt::Message& m) {
 }
 
 void ChandyLamportProtocol::handle_system(const rt::Message& m) {
-  switch (m.kind) {
-    case rt::MsgKind::kMarker: {
-      const ClMarker* p = m.payload_as<ClMarker>();
-      MCK_ASSERT(p != nullptr);
+  MCK_ASSERT(m.payload != nullptr);
+  switch (m.payload->tag()) {
+    case rt::PayloadTag::kClMarker: {
+      const auto* p = static_cast<const ClMarker*>(m.payload.get());
       ctx_.tracker->at(p->initiation).last_request_at = ctx_.sim->now();
       if (!recording_ && init_ != p->initiation) {
         take_snapshot(p->initiation);
@@ -130,17 +115,15 @@ void ChandyLamportProtocol::handle_system(const rt::Message& m) {
       }
       break;
     }
-    case rt::MsgKind::kReply: {
-      const ClDone* p = m.payload_as<ClDone>();
-      MCK_ASSERT(p != nullptr);
+    case rt::PayloadTag::kClDone: {
+      const auto* p = static_cast<const ClDone*>(m.payload.get());
       if (init_ != p->initiation) return;
       --awaiting_done_;
       maybe_commit();
       break;
     }
-    case rt::MsgKind::kCommit: {
-      const ClCommit* p = m.payload_as<ClCommit>();
-      MCK_ASSERT(p != nullptr);
+    case rt::PayloadTag::kClCommit: {
+      const auto* p = static_cast<const ClCommit*>(m.payload.get());
       if (init_ != p->initiation || pending_ref_ == ckpt::kNoCkpt) return;
       const ckpt::CheckpointRecord& rec = ctx_.store->get(pending_ref_);
       ctx_.store->make_permanent(pending_ref_, ctx_.sim->now());

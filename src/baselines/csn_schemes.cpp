@@ -1,21 +1,9 @@
 #include "baselines/csn_schemes.hpp"
 
+#include "baselines/payloads.hpp"
 #include "util/assert.hpp"
 
 namespace mck::baselines {
-
-namespace {
-
-struct CsComp final : rt::Payload {
-  Csn csn = 0;
-};
-
-struct CsRequest final : rt::Payload {
-  ckpt::InitiationId initiation = 0;
-  Csn req_csn = 0;
-};
-
-}  // namespace
 
 void CsnSchemeProtocol::start() {
   R_ = util::BitVec(static_cast<std::size_t>(ctx_.num_processes));
@@ -89,9 +77,9 @@ void CsnSchemeProtocol::handle_computation(const rt::Message& m) {
 }
 
 void CsnSchemeProtocol::handle_system(const rt::Message& m) {
-  MCK_ASSERT(m.kind == rt::MsgKind::kRequest);
-  const CsRequest* p = m.payload_as<CsRequest>();
-  MCK_ASSERT(p != nullptr);
+  MCK_ASSERT(m.payload != nullptr &&
+             m.payload->tag() == rt::PayloadTag::kCsRequest);
+  const auto* p = static_cast<const CsRequest*>(m.payload.get());
   if (csn_[static_cast<std::size_t>(self())] > p->req_csn) {
     return;  // checkpointed since the dependency was created
   }

@@ -1,30 +1,9 @@
 #include "baselines/elnozahy.hpp"
 
+#include "baselines/payloads.hpp"
 #include "util/assert.hpp"
 
 namespace mck::baselines {
-
-namespace {
-
-struct EjComp final : rt::Payload {
-  Csn csn = 0;
-  ckpt::InitiationId initiation = 0;  // initiation that produced this csn
-};
-
-struct EjRequest final : rt::Payload {
-  Csn csn = 0;
-  ckpt::InitiationId initiation = 0;
-};
-
-struct EjReply final : rt::Payload {
-  ckpt::InitiationId initiation = 0;
-};
-
-struct EjCommit final : rt::Payload {
-  ckpt::InitiationId initiation = 0;
-};
-
-}  // namespace
 
 void ElnozahyProtocol::start() {}
 
@@ -96,17 +75,16 @@ void ElnozahyProtocol::handle_computation(const rt::Message& m) {
 }
 
 void ElnozahyProtocol::handle_system(const rt::Message& m) {
-  switch (m.kind) {
-    case rt::MsgKind::kRequest: {
-      const EjRequest* p = m.payload_as<EjRequest>();
-      MCK_ASSERT(p != nullptr);
+  MCK_ASSERT(m.payload != nullptr);
+  switch (m.payload->tag()) {
+    case rt::PayloadTag::kEjRequest: {
+      const auto* p = static_cast<const EjRequest*>(m.payload.get());
       ctx_.tracker->at(p->initiation).last_request_at = ctx_.sim->now();
       take_checkpoint(p->csn, p->initiation);
       break;
     }
-    case rt::MsgKind::kReply: {
-      const EjReply* p = m.payload_as<EjReply>();
-      MCK_ASSERT(p != nullptr);
+    case rt::PayloadTag::kEjReply: {
+      const auto* p = static_cast<const EjReply*>(m.payload.get());
       if (pending_init_ != p->initiation) return;
       MCK_ASSERT(awaiting_replies_ > 0);
       if (--awaiting_replies_ == 0 && transfer_done_) {
@@ -126,9 +104,8 @@ void ElnozahyProtocol::handle_system(const rt::Message& m) {
       }
       break;
     }
-    case rt::MsgKind::kCommit: {
-      const EjCommit* p = m.payload_as<EjCommit>();
-      MCK_ASSERT(p != nullptr);
+    case rt::PayloadTag::kEjCommit: {
+      const auto* p = static_cast<const EjCommit*>(m.payload.get());
       if (pending_init_ != p->initiation) return;
       const ckpt::CheckpointRecord& rec = ctx_.store->get(pending_ref_);
       ctx_.store->make_permanent(pending_ref_, ctx_.sim->now());

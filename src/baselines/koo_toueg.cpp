@@ -2,31 +2,11 @@
 
 #include <algorithm>
 
+#include "baselines/payloads.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace mck::baselines {
-
-namespace {
-
-struct KtComp final : rt::Payload {
-  Csn csn = 0;  // sender's stable-checkpoint count
-};
-
-struct KtRequest final : rt::Payload {
-  ckpt::InitiationId initiation = 0;
-  Csn req_csn = 0;  // requester's knowledge of our csn
-};
-
-struct KtReply final : rt::Payload {
-  ckpt::InitiationId initiation = 0;
-};
-
-struct KtCommit final : rt::Payload {
-  ckpt::InitiationId initiation = 0;
-};
-
-}  // namespace
 
 void KooTouegProtocol::start() {
   R_ = util::BitVec(static_cast<std::size_t>(ctx_.num_processes));
@@ -151,10 +131,10 @@ void KooTouegProtocol::finish_commit(ckpt::InitiationId init) {
 }
 
 void KooTouegProtocol::handle_system(const rt::Message& m) {
-  switch (m.kind) {
-    case rt::MsgKind::kRequest: {
-      const KtRequest* p = m.payload_as<KtRequest>();
-      MCK_ASSERT(p != nullptr);
+  MCK_ASSERT(m.payload != nullptr);
+  switch (m.payload->tag()) {
+    case rt::PayloadTag::kKtRequest: {
+      const auto* p = static_cast<const KtRequest*>(m.payload.get());
       ctx_.tracker->at(p->initiation).last_request_at = ctx_.sim->now();
       if (coordinating_) {
         // Already part of this coordination (dependency cycles) — answer
@@ -180,18 +160,16 @@ void KooTouegProtocol::handle_system(const rt::Message& m) {
       take_tentative_and_propagate(p->initiation, m.src);
       break;
     }
-    case rt::MsgKind::kReply: {
-      const KtReply* p = m.payload_as<KtReply>();
-      MCK_ASSERT(p != nullptr);
+    case rt::PayloadTag::kKtReply: {
+      const auto* p = static_cast<const KtReply*>(m.payload.get());
       if (!coord_ || coord_->initiation != p->initiation) return;
       --coord_->outstanding_children;
       MCK_ASSERT(coord_->outstanding_children >= 0);
       maybe_reply();
       break;
     }
-    case rt::MsgKind::kCommit: {
-      const KtCommit* p = m.payload_as<KtCommit>();
-      MCK_ASSERT(p != nullptr);
+    case rt::PayloadTag::kKtCommit: {
+      const auto* p = static_cast<const KtCommit*>(m.payload.get());
       // A process that answered several parents appears in several child
       // lists and receives a commit from each; only the first matters.
       if (!coord_ || coord_->initiation != p->initiation) return;

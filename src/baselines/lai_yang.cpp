@@ -1,30 +1,9 @@
 #include "baselines/lai_yang.hpp"
 
+#include "baselines/payloads.hpp"
 #include "util/assert.hpp"
 
 namespace mck::baselines {
-
-namespace {
-
-struct LyComp final : rt::Payload {
-  Csn round = 0;  // the sender's color at send time
-  ckpt::InitiationId initiation = 0;
-};
-
-struct LyAnnounce final : rt::Payload {
-  Csn round = 0;
-  ckpt::InitiationId initiation = 0;
-};
-
-struct LyReply final : rt::Payload {
-  ckpt::InitiationId initiation = 0;
-};
-
-struct LyCommit final : rt::Payload {
-  ckpt::InitiationId initiation = 0;
-};
-
-}  // namespace
 
 std::shared_ptr<const rt::Payload> LaiYangProtocol::computation_payload(
     ProcessId /*dst*/) {
@@ -114,25 +93,23 @@ void LaiYangProtocol::handle_computation(const rt::Message& m) {
 }
 
 void LaiYangProtocol::handle_system(const rt::Message& m) {
-  switch (m.kind) {
-    case rt::MsgKind::kRequest: {
-      const LyAnnounce* p = m.payload_as<LyAnnounce>();
-      MCK_ASSERT(p != nullptr);
+  MCK_ASSERT(m.payload != nullptr);
+  switch (m.payload->tag()) {
+    case rt::PayloadTag::kLyAnnounce: {
+      const auto* p = static_cast<const LyAnnounce*>(m.payload.get());
       ctx_.tracker->at(p->initiation).last_request_at = ctx_.sim->now();
       take_snapshot(p->round, p->initiation);
       break;
     }
-    case rt::MsgKind::kReply: {
-      const LyReply* p = m.payload_as<LyReply>();
-      MCK_ASSERT(p != nullptr);
+    case rt::PayloadTag::kLyReply: {
+      const auto* p = static_cast<const LyReply*>(m.payload.get());
       if (pending_init_ != p->initiation) return;
       --awaiting_replies_;
       maybe_commit(p->initiation);
       break;
     }
-    case rt::MsgKind::kCommit: {
-      const LyCommit* p = m.payload_as<LyCommit>();
-      MCK_ASSERT(p != nullptr);
+    case rt::PayloadTag::kLyCommit: {
+      const auto* p = static_cast<const LyCommit*>(m.payload.get());
       if (pending_init_ != p->initiation) return;
       const ckpt::CheckpointRecord& rec = ctx_.store->get(pending_ref_);
       ctx_.store->make_permanent(pending_ref_, ctx_.sim->now());

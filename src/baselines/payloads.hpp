@@ -1,0 +1,98 @@
+// Wire payloads of the six baseline algorithms, shared between the
+// protocol implementations and the universal codec registry
+// (core/codec.cpp). Field meanings match the protocol files; keeping the
+// structs here (instead of each file's anonymous namespace) is what lets
+// one codec cover every message in the system.
+#pragma once
+
+#include "ckpt/store.hpp"
+#include "rt/message.hpp"
+#include "util/types.hpp"
+
+namespace mck::baselines {
+
+// --- Koo-Toueg blocking min-process algorithm [19] ----------------------
+
+struct KtComp final : rt::TaggedPayload<rt::PayloadTag::kKtComp> {
+  Csn csn = 0;  // sender's stable-checkpoint count
+};
+
+struct KtRequest final : rt::TaggedPayload<rt::PayloadTag::kKtRequest> {
+  ckpt::InitiationId initiation = 0;
+  Csn req_csn = 0;  // requester's knowledge of our csn
+};
+
+struct KtReply final : rt::TaggedPayload<rt::PayloadTag::kKtReply> {
+  ckpt::InitiationId initiation = 0;
+};
+
+struct KtCommit final : rt::TaggedPayload<rt::PayloadTag::kKtCommit> {
+  ckpt::InitiationId initiation = 0;
+};
+
+// --- Elnozahy-Johnson-Zwaenepoel nonblocking all-process [13] -----------
+
+struct EjComp final : rt::TaggedPayload<rt::PayloadTag::kEjComp> {
+  Csn csn = 0;
+  ckpt::InitiationId initiation = 0;  // initiation that produced this csn
+};
+
+struct EjRequest final : rt::TaggedPayload<rt::PayloadTag::kEjRequest> {
+  Csn csn = 0;
+  ckpt::InitiationId initiation = 0;
+};
+
+struct EjReply final : rt::TaggedPayload<rt::PayloadTag::kEjReply> {
+  ckpt::InitiationId initiation = 0;
+};
+
+struct EjCommit final : rt::TaggedPayload<rt::PayloadTag::kEjCommit> {
+  ckpt::InitiationId initiation = 0;
+};
+
+// --- Chandy-Lamport distributed snapshot --------------------------------
+
+struct ClMarker final : rt::TaggedPayload<rt::PayloadTag::kClMarker> {
+  ckpt::InitiationId initiation = 0;
+};
+
+struct ClDone final : rt::TaggedPayload<rt::PayloadTag::kClDone> {
+  ckpt::InitiationId initiation = 0;  // reply: recording complete
+};
+
+struct ClCommit final : rt::TaggedPayload<rt::PayloadTag::kClCommit> {
+  ckpt::InitiationId initiation = 0;
+};
+
+// --- Lai-Yang coloring [21] ---------------------------------------------
+
+struct LyComp final : rt::TaggedPayload<rt::PayloadTag::kLyComp> {
+  Csn round = 0;  // the sender's color at send time
+  ckpt::InitiationId initiation = 0;
+};
+
+struct LyAnnounce final : rt::TaggedPayload<rt::PayloadTag::kLyAnnounce> {
+  Csn round = 0;
+  ckpt::InitiationId initiation = 0;
+};
+
+struct LyReply final : rt::TaggedPayload<rt::PayloadTag::kLyReply> {
+  ckpt::InitiationId initiation = 0;
+};
+
+struct LyCommit final : rt::TaggedPayload<rt::PayloadTag::kLyCommit> {
+  ckpt::InitiationId initiation = 0;
+};
+
+// --- csn-based simple/revised schemes -----------------------------------
+
+struct CsComp final : rt::TaggedPayload<rt::PayloadTag::kCsComp> {
+  Csn csn = 0;
+};
+
+struct CsRequest final : rt::TaggedPayload<rt::PayloadTag::kCsRequest> {
+  ckpt::InitiationId initiation = 0;
+  Csn req_csn = 0;
+};
+
+}  // namespace mck::baselines

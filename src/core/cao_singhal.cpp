@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "core/codec.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -43,11 +42,6 @@ void CaoSinghalProtocol::schedule_pending_reap(const Trigger& trigger) {
       }
     }
   });
-}
-
-std::uint64_t CaoSinghalProtocol::system_payload_wire_size(
-    const rt::Payload& p) const {
-  return wire_size(p);
 }
 
 void CaoSinghalProtocol::on_disconnect() {
@@ -770,39 +764,28 @@ void CaoSinghalProtocol::handle_abort(const Trigger& t) {
 }
 
 void CaoSinghalProtocol::handle_system(const rt::Message& m) {
-  switch (m.kind) {
-    case rt::MsgKind::kRequest: {
-      const RequestPayload* p = m.payload_as<RequestPayload>();
-      MCK_ASSERT(p != nullptr);
-      handle_request(m, *p);
+  MCK_ASSERT(m.payload != nullptr);
+  switch (m.payload->tag()) {
+    case rt::PayloadTag::kRequest:
+      handle_request(m, static_cast<const RequestPayload&>(*m.payload));
+      break;
+    case rt::PayloadTag::kReply:
+      handle_reply(m, static_cast<const ReplyPayload&>(*m.payload));
+      break;
+    case rt::PayloadTag::kCommit: {
+      const auto& p = static_cast<const CommitPayload&>(*m.payload);
+      handle_commit(p.trigger, &p.abort_set);
       break;
     }
-    case rt::MsgKind::kReply: {
-      const ReplyPayload* p = m.payload_as<ReplyPayload>();
-      MCK_ASSERT(p != nullptr);
-      handle_reply(m, *p);
+    case rt::PayloadTag::kAbort:
+      handle_abort(static_cast<const AbortPayload&>(*m.payload).trigger);
       break;
-    }
-    case rt::MsgKind::kCommit: {
-      const CommitPayload* p = m.payload_as<CommitPayload>();
-      MCK_ASSERT(p != nullptr);
-      handle_commit(p->trigger, &p->abort_set);
+    case rt::PayloadTag::kClear:
+      handle_clear(static_cast<const ClearPayload&>(*m.payload).trigger,
+                   /*is_commit=*/false);
       break;
-    }
-    case rt::MsgKind::kAbort: {
-      const AbortPayload* p = m.payload_as<AbortPayload>();
-      MCK_ASSERT(p != nullptr);
-      handle_abort(p->trigger);
-      break;
-    }
-    case rt::MsgKind::kControl: {
-      const ClearPayload* p = m.payload_as<ClearPayload>();
-      MCK_ASSERT(p != nullptr);
-      handle_clear(p->trigger, /*is_commit=*/false);
-      break;
-    }
     default:
-      MCK_ASSERT_MSG(false, "unexpected system message");
+      MCK_ASSERT_MSG(false, "unexpected system payload");
   }
 }
 

@@ -135,7 +135,6 @@ class CaoSinghalProtocol final : public rt::CheckpointProtocol {
       ProcessId dst) override;
   void handle_computation(const rt::Message& m) override;
   void handle_system(const rt::Message& m) override;
-  std::uint64_t system_payload_wire_size(const rt::Payload& p) const override;
 
  private:
   struct MutableRec {

@@ -1,48 +1,55 @@
-// Byte-level wire format for the mutable-checkpoint protocol payloads.
+// Byte-level wire format for every payload in the system — the
+// mutable-checkpoint protocol's and all six baselines'.
 //
 // The paper's evaluation charges a flat 50 B per system message. In
 // reality a checkpoint request carries the MR structure (one entry per
 // process) and an exact binary-fraction weight, so its size grows with N
 // and with propagation depth. This codec provides:
-//   * encode()/decode() round-trips for every payload type (tested by
-//     fuzz and round-trip property tests), and
+//   * a registry with encode()/decode() round-trips for every
+//     rt::PayloadTag (tested by fuzz and round-trip property tests),
 //   * wire_size() — the honest on-air size, used when
 //     rt::TimingConfig::use_wire_sizes is enabled to re-run the message
-//     overhead accounting without the 50 B idealization.
+//     overhead accounting without the 50 B idealization, and
+//   * universal_codec() — the rt::WireCodec the harness installs so the
+//     runtime and the transports (wire-fidelity mode) can use all of the
+//     above without depending on this layer.
 //
 // Format: little-endian, fixed-width integers; vectors are length-prefixed
-// (u16). A 1-byte tag selects the payload type.
+// (u16). A 1-byte tag (the rt::PayloadTag value) selects the payload type.
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "core/payloads.hpp"
+#include "rt/wire.hpp"
 
 namespace mck::core {
 
-enum class WireTag : std::uint8_t {
-  kComp = 1,
-  kRequest = 2,
-  kReply = 3,
-  kCommit = 4,
-  kAbort = 5,
-  kClear = 6,
-};
-
-/// Serializes any core payload (dispatching on its dynamic type).
-/// Returns an empty vector for unknown payload types.
+/// Serializes any registered payload (dispatching on its tag).
+/// Returns an empty vector for unregistered payload types.
 std::vector<std::uint8_t> encode(const rt::Payload& payload);
 
 /// Parses a buffer produced by encode(). Returns nullptr on any
-/// truncation, bad tag, or trailing garbage.
-std::shared_ptr<rt::Payload> decode(const std::vector<std::uint8_t>& bytes);
+/// truncation, bad tag, or trailing garbage; never crashes.
+std::shared_ptr<rt::Payload> decode(rt::ByteView bytes);
 
-/// Honest on-air size of a system payload: encoded bytes plus the link
-/// header the paper's 50 B budget stands for.
+/// Honest on-air size of a payload: encoded bytes plus the link header
+/// the paper's 50 B budget stands for. 0 for unregistered types.
 inline constexpr std::uint64_t kLinkHeaderBytes = 20;
 std::uint64_t wire_size(const rt::Payload& payload);
+
+/// Encoded payload bytes only (tag byte included, no link header).
+std::uint64_t payload_bytes(const rt::Payload& payload);
+
+/// True iff the registry has a codec for `tag`.
+bool codec_registered(rt::PayloadTag tag);
+
+/// The process-wide rt::WireCodec over the registry. Installed into every
+/// ProcessContext by harness::System and into the transports when
+/// wire-fidelity mode is on.
+const rt::WireCodec* universal_codec();
 
 // --- low-level building blocks (exposed for tests) ---------------------
 
@@ -68,9 +75,11 @@ class WireWriter {
   std::vector<std::uint8_t> buf_;
 };
 
+/// Reads from a non-owning view, so transports can decode straight out of
+/// their in-flight buffers without copying.
 class WireReader {
  public:
-  explicit WireReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+  explicit WireReader(rt::ByteView buf) : buf_(buf) {}
 
   bool ok() const { return ok_; }
   bool done() const { return ok_ && pos_ == buf_.size(); }
@@ -96,7 +105,7 @@ class WireReader {
   }
 
  private:
-  const std::vector<std::uint8_t>& buf_;
+  rt::ByteView buf_;
   std::size_t pos_ = 0;
   bool ok_ = true;
 };

@@ -13,7 +13,7 @@ namespace mck::core {
 
 /// Piggyback on every computation message: the sender's csn[self], plus
 /// its trigger when it is inside a checkpointing process (cp_state = 1).
-struct CompPayload final : rt::Payload {
+struct CompPayload final : rt::TaggedPayload<rt::PayloadTag::kComp> {
   Csn csn = 0;
   Trigger trigger;  // invalid (= NULL in the paper) when cp_state was 0
 };
@@ -26,7 +26,7 @@ struct MrEntry {
   std::uint8_t requested = 0;  // the paper's MR[k].R
 };
 
-struct RequestPayload final : rt::Payload {
+struct RequestPayload final : rt::TaggedPayload<rt::PayloadTag::kRequest> {
   std::vector<MrEntry> mr;   // merged knowledge along the request path
   Csn sender_csn = 0;        // csn_j[j] of the request sender (recv_csn)
   Trigger trigger;           // msg_trigger: the initiation this belongs to
@@ -34,7 +34,7 @@ struct RequestPayload final : rt::Payload {
   util::Weight weight;       // portion of the initiator's weight
 };
 
-struct ReplyPayload final : rt::Payload {
+struct ReplyPayload final : rt::TaggedPayload<rt::PayloadTag::kReply> {
   Trigger trigger;
   util::Weight weight;
   bool refused = false;  // concurrent-initiation refusal (Section 3.5)
@@ -50,7 +50,7 @@ struct ReplyPayload final : rt::Payload {
   util::BitVec deps;
 };
 
-struct CommitPayload final : rt::Payload {
+struct CommitPayload final : rt::TaggedPayload<rt::PayloadTag::kCommit> {
   Trigger trigger;
 
   /// Kim-Park partial commit [18]: processes in this set must abort their
@@ -59,13 +59,13 @@ struct CommitPayload final : rt::Payload {
   util::BitVec abort_set;
 };
 
-struct AbortPayload final : rt::Payload {
+struct AbortPayload final : rt::TaggedPayload<rt::PayloadTag::kAbort> {
   Trigger trigger;
 };
 
 /// Update-approach (Section 3.3.5) cp_state-clearing notification, sent
 /// along the "history of the processes to which it has sent messages".
-struct ClearPayload final : rt::Payload {
+struct ClearPayload final : rt::TaggedPayload<rt::PayloadTag::kClear> {
   Trigger trigger;
 };
 

@@ -33,6 +33,7 @@ void RunResult::merge(const RunResult& o) {
   for (int k = 0; k < rt::kMsgKindCount; ++k) {
     stats.msgs_sent[k] += o.stats.msgs_sent[k];
     stats.bytes_sent[k] += o.stats.bytes_sent[k];
+    stats.wire_bytes_sent[k] += o.stats.wire_bytes_sent[k];
   }
   stats.deliveries += o.stats.deliveries;
   stats.tentative_taken += o.stats.tentative_taken;

@@ -1,5 +1,6 @@
 #include "harness/system.hpp"
 
+#include "core/codec.hpp"
 #include "util/assert.hpp"
 
 namespace mck::harness {
@@ -49,6 +50,9 @@ System::System(SystemOptions opts)
     cell_ = std::make_unique<mobile::CellularTransport>(
         sim_, opts_.num_processes, opts_.cellular);
   }
+  if (opts_.wire_fidelity) {
+    transport().set_wire_fidelity(core::universal_codec());
+  }
 
   protos_.reserve(static_cast<std::size_t>(opts_.num_processes));
   for (ProcessId p = 0; p < opts_.num_processes; ++p) {
@@ -92,6 +96,7 @@ System::System(SystemOptions opts)
     ctx.tracker = &tracker_;
     ctx.stats = &stats_;
     ctx.timing = &opts_.timing;
+    ctx.codec = core::universal_codec();
     proto->bind(ctx);
     protos_.push_back(std::move(proto));
   }

@@ -55,6 +55,12 @@ struct SystemOptions {
   net::LanParams lan;
   mobile::CellularParams cellular;
   std::uint64_t seed = 1;
+
+  /// Wire-fidelity mode (--wire-fidelity): the transport serializes every
+  /// payload on send and protocols only receive what the codec decodes —
+  /// codec gaps surface as test failures instead of silent divergence.
+  /// Off by default; a lossless codec makes results identical either way.
+  bool wire_fidelity = false;
 };
 
 class System {

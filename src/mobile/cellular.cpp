@@ -47,6 +47,7 @@ sim::SimTime CellularTransport::path_delay(MssId from, MssId to,
 
 void CellularTransport::launch(rt::Message msg) {
   MCK_ASSERT(msg.dst >= 0 && msg.dst < num_processes());
+  encode_for_wire(msg);
   if (msg.kind == rt::MsgKind::kComputation) {
     comp_fifo_.stamp(msg);
   } else {
@@ -103,6 +104,9 @@ void CellularTransport::arrive(rt::Message msg, MssId routed_to) {
 }
 
 void CellularTransport::hand_to_process(rt::Message msg) {
+  // Wire-fidelity mode: messages stay encoded through forwarding and MSS
+  // buffering; the payload is only re-materialized here, at the last hop.
+  decode_from_wire(msg);
   // Deliver via an event so protocol handlers never re-enter each other.
   sim_.schedule_after(0, [this, m = std::move(msg)]() {
     MCK_ASSERT_MSG(static_cast<bool>(sinks_[static_cast<std::size_t>(m.dst)]),

@@ -88,11 +88,13 @@ void LanTransport::arrive(rt::Message msg) {
     }
     MCK_ASSERT_MSG(static_cast<bool>(sinks_[static_cast<std::size_t>(m.dst)]),
                    "no delivery sink registered");
+    decode_from_wire(m);  // wire-fidelity mode: re-materialize the payload
     sinks_[static_cast<std::size_t>(m.dst)](m);
   }
 }
 
 void LanTransport::send(rt::Message msg) {
+  encode_for_wire(msg);
   sim::SimTime arrive;
   if (params_.mode == MediumMode::kShared) {
     arrive = reserve_medium(msg.size_bytes) + params_.propagation_delay;
@@ -105,7 +107,9 @@ void LanTransport::send(rt::Message msg) {
 
 void LanTransport::broadcast(rt::Message msg) {
   // One transmission on the air reaches every host; each non-sender
-  // process gets a copy.
+  // process gets a copy (in fidelity mode the copies share the encoded
+  // buffer but each recipient decodes its own payload object).
+  encode_for_wire(msg);
   sim::SimTime arrive;
   if (params_.mode == MediumMode::kShared) {
     arrive = reserve_medium(msg.size_bytes) + params_.propagation_delay;

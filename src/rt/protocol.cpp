@@ -1,9 +1,24 @@
 #include "rt/protocol.hpp"
 
+#include "rt/wire.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace mck::rt {
+
+void CheckpointProtocol::bind(const ProcessContext& ctx) {
+  ctx_ = ctx;
+  // Size the per-process energy ledger once, instead of re-checking the
+  // vector size on every send/deliver in the hot path.
+  if (ctx_.stats != nullptr && ctx_.num_processes > 0) {
+    ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
+  }
+}
+
+std::uint64_t CheckpointProtocol::system_payload_wire_size(
+    const Payload& p) const {
+  return ctx_.codec != nullptr ? ctx_.codec->wire_size(p) : 0;
+}
 
 void CheckpointProtocol::send_computation(ProcessId dst) {
   MCK_ASSERT(ctx_.sim != nullptr);
@@ -20,10 +35,22 @@ void CheckpointProtocol::send_computation(ProcessId dst) {
   m.size_bytes = ctx_.timing->comp_msg_bytes;
   m.sent_at = ctx_.sim->now();
   m.payload = computation_payload(dst);
+  // Honest accounting: the piggybacked csn/trigger/round rides on top of
+  // the 1 KB application data (the budget already covers the framing).
+  const bool want_honest =
+      (ctx_.timing->use_wire_sizes || ctx_.timing->record_wire_bytes) &&
+      ctx_.codec != nullptr;
+  std::uint64_t honest = m.size_bytes;
+  if (want_honest && m.payload != nullptr) {
+    honest += ctx_.codec->payload_bytes(*m.payload);
+  }
+  if (ctx_.timing->use_wire_sizes) m.size_bytes = honest;
   m.id = ctx_.log->record_send(ctx_.self, dst, m.sent_at);
   ++ctx_.stats->msgs_sent[static_cast<int>(m.kind)];
   ctx_.stats->bytes_sent[static_cast<int>(m.kind)] += m.size_bytes;
-  ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
+  if (ctx_.timing->record_wire_bytes || ctx_.timing->use_wire_sizes) {
+    ctx_.stats->wire_bytes_sent[static_cast<int>(m.kind)] += honest;
+  }
   stats::ProcessEnergy& e =
       ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)];
   ++e.tx_comp_msgs;
@@ -33,7 +60,6 @@ void CheckpointProtocol::send_computation(ProcessId dst) {
 
 void CheckpointProtocol::on_deliver(const Message& m) {
   ++ctx_.stats->deliveries;
-  ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
   stats::ProcessEnergy& e =
       ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)];
   e.rx_bytes += m.size_bytes;
@@ -54,16 +80,22 @@ void CheckpointProtocol::send_system(MsgKind kind, ProcessId dst,
   m.src = ctx_.self;
   m.dst = dst;
   m.size_bytes = ctx_.timing->sys_msg_bytes;
-  if (ctx_.timing->use_wire_sizes && payload) {
+  const bool want_honest =
+      ctx_.timing->use_wire_sizes || ctx_.timing->record_wire_bytes;
+  std::uint64_t honest = m.size_bytes;
+  if (want_honest && payload != nullptr) {
     std::uint64_t ws = system_payload_wire_size(*payload);
-    if (ws > 0) m.size_bytes = ws;
+    if (ws > 0) honest = ws;
   }
+  if (ctx_.timing->use_wire_sizes) m.size_bytes = honest;
   m.sent_at = ctx_.sim->now();
   m.payload = std::move(payload);
   m.id = ctx_.log->next_msg_id();
   ++ctx_.stats->msgs_sent[static_cast<int>(kind)];
   ctx_.stats->bytes_sent[static_cast<int>(kind)] += m.size_bytes;
-  ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
+  if (want_honest) {
+    ctx_.stats->wire_bytes_sent[static_cast<int>(kind)] += honest;
+  }
   stats::ProcessEnergy& e =
       ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)];
   ++e.tx_sys_msgs;
@@ -78,10 +110,14 @@ void CheckpointProtocol::broadcast_system(
   m.kind = kind;
   m.src = ctx_.self;
   m.size_bytes = ctx_.timing->sys_msg_bytes;
-  if (ctx_.timing->use_wire_sizes && payload) {
+  const bool want_honest =
+      ctx_.timing->use_wire_sizes || ctx_.timing->record_wire_bytes;
+  std::uint64_t honest = m.size_bytes;
+  if (want_honest && payload != nullptr) {
     std::uint64_t ws = system_payload_wire_size(*payload);
-    if (ws > 0) m.size_bytes = ws;
+    if (ws > 0) honest = ws;
   }
+  if (ctx_.timing->use_wire_sizes) m.size_bytes = honest;
   m.sent_at = ctx_.sim->now();
   m.payload = std::move(payload);
   m.id = ctx_.log->next_msg_id();
@@ -89,7 +125,9 @@ void CheckpointProtocol::broadcast_system(
   // once per recipient for byte accounting symmetry with [13].
   ++ctx_.stats->msgs_sent[static_cast<int>(kind)];
   ctx_.stats->bytes_sent[static_cast<int>(kind)] += m.size_bytes;
-  ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
+  if (want_honest) {
+    ctx_.stats->wire_bytes_sent[static_cast<int>(kind)] += honest;
+  }
   stats::ProcessEnergy& e =
       ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)];
   ++e.tx_sys_msgs;
@@ -112,7 +150,6 @@ sim::SimTime CheckpointProtocol::start_stable_transfer() {
   if (done > ctx_.sim->now()) {
     // Radio airtime was actually spent (a disconnected MH's checkpoint is
     // converted at the MSS for free, Section 2.2).
-    ctx_.stats->energy.ensure(static_cast<std::size_t>(ctx_.num_processes));
     ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)]
         .bulk_bytes += ctx_.timing->ckpt_bytes;
   }

@@ -34,18 +34,29 @@ struct TimingConfig {
   sim::SimTime mutable_save_delay = sim::microseconds(2500);  // 2.5 ms
   sim::SimTime disk_delay = 0;  // "disk access time is not counted"
 
-  /// When set, system messages are charged their true serialized size
-  /// (protocols that implement a wire codec override
-  /// CheckpointProtocol::system_payload_wire_size) instead of the paper's
-  /// flat 50 B budget — the MR structure and the weight make checkpoint
-  /// requests grow with N and propagation depth.
+  /// When set, messages are charged their true serialized size (via the
+  /// universal codec in ProcessContext::codec) instead of the paper's
+  /// flat budgets: system messages replace the 50 B constant — the MR
+  /// structure and the weight make checkpoint requests grow with N and
+  /// propagation depth — and computation messages are charged their
+  /// piggyback bytes on top of the 1 KB application data.
   bool use_wire_sizes = false;
+
+  /// When set, RunStats::wire_bytes_sent records the honest codec size of
+  /// every message *without* changing what is charged to the medium —
+  /// flat-budget timing with honest byte columns next to it. Implied by
+  /// use_wire_sizes in the CLI drivers (--wire-sizes sets both).
+  bool record_wire_bytes = false;
 };
 
 /// Global run counters, shared by all processes of a run.
 struct RunStats {
   std::uint64_t msgs_sent[kMsgKindCount] = {};   // indexed by MsgKind
   std::uint64_t bytes_sent[kMsgKindCount] = {};
+  /// Honest codec size per kind (link header + encoded payload; flat
+  /// budget when a message has no payload). Populated only when
+  /// TimingConfig::record_wire_bytes or use_wire_sizes is set.
+  std::uint64_t wire_bytes_sent[kMsgKindCount] = {};
   std::uint64_t deliveries = 0;
 
   std::uint64_t tentative_taken = 0;
@@ -75,7 +86,14 @@ struct RunStats {
     for (int k = 1; k < kMsgKindCount; ++k) n += bytes_sent[k];
     return n;
   }
+  std::uint64_t system_wire_bytes() const {
+    std::uint64_t n = 0;
+    for (int k = 1; k < kMsgKindCount; ++k) n += wire_bytes_sent[k];
+    return n;
+  }
 };
+
+class WireCodec;
 
 /// Everything a protocol instance needs from its environment.
 struct ProcessContext {
@@ -88,13 +106,17 @@ struct ProcessContext {
   ckpt::CoordinationTracker* tracker = nullptr;
   RunStats* stats = nullptr;
   const TimingConfig* timing = nullptr;
+  /// Universal payload codec (core::universal_codec() in real systems);
+  /// backs honest wire-size accounting. May be null in minimal tests —
+  /// wire accounting then falls back to the flat budgets.
+  const WireCodec* codec = nullptr;
 };
 
 class CheckpointProtocol {
  public:
   virtual ~CheckpointProtocol() = default;
 
-  void bind(const ProcessContext& ctx) { ctx_ = ctx; }
+  void bind(const ProcessContext& ctx);
   ProcessId self() const { return ctx_.self; }
   const ProcessContext& context() const { return ctx_; }
 
@@ -134,12 +156,11 @@ class CheckpointProtocol {
   virtual void handle_system(const Message& m) = 0;
 
   /// Honest on-air size of a system payload, used when
-  /// TimingConfig::use_wire_sizes is set. 0 = no codec, fall back to the
-  /// fixed sys_msg_bytes budget.
-  virtual std::uint64_t system_payload_wire_size(const Payload& p) const {
-    (void)p;
-    return 0;
-  }
+  /// TimingConfig::use_wire_sizes is set. The default asks the universal
+  /// codec in ProcessContext::codec, which covers every payload type of
+  /// every algorithm; 0 = no codec, fall back to the fixed sys_msg_bytes
+  /// budget.
+  virtual std::uint64_t system_payload_wire_size(const Payload& p) const;
 
   // ---- helpers for subclasses ----------------------------------------
   /// Sends a system message (size from TimingConfig) to `dst`.

@@ -5,9 +5,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "rt/message.hpp"
+#include "rt/wire.hpp"
 #include "sim/time.hpp"
+#include "util/assert.hpp"
 
 namespace mck::rt {
 
@@ -42,6 +47,40 @@ class Transport {
   }
 
   virtual int num_processes() const = 0;
+
+  /// Wire-fidelity mode: in-flight messages carry encoded bytes instead
+  /// of the payload object, and protocols only ever see what the codec
+  /// preserved — a dropped field becomes a test failure instead of a
+  /// silent simulation divergence. Null disables (the default).
+  void set_wire_fidelity(const WireCodec* codec) { fidelity_codec_ = codec; }
+  const WireCodec* wire_fidelity() const { return fidelity_codec_; }
+
+ protected:
+  /// Send side: replaces the payload with its encoding. No-op outside
+  /// fidelity mode or for payload-less messages.
+  void encode_for_wire(Message& msg) const {
+    if (fidelity_codec_ == nullptr || msg.payload == nullptr) return;
+    auto bytes = std::make_shared<std::vector<std::uint8_t>>(
+        fidelity_codec_->encode(*msg.payload));
+    MCK_ASSERT_MSG(!bytes->empty(),
+                   "wire fidelity: payload type has no registered codec");
+    msg.wire = std::move(bytes);
+    msg.payload.reset();
+  }
+
+  /// Delivery side: re-materializes the payload from the wire bytes. Each
+  /// recipient of a broadcast gets its own decoded object.
+  void decode_from_wire(Message& msg) const {
+    if (msg.wire == nullptr) return;
+    MCK_ASSERT(fidelity_codec_ != nullptr);
+    std::shared_ptr<Payload> p = fidelity_codec_->decode(*msg.wire);
+    MCK_ASSERT_MSG(p != nullptr, "wire fidelity: payload failed to decode");
+    msg.payload = std::move(p);
+    msg.wire.reset();
+  }
+
+ private:
+  const WireCodec* fidelity_codec_ = nullptr;
 };
 
 }  // namespace mck::rt

@@ -1,0 +1,42 @@
+// Codec interface between the runtime and whoever knows the byte format.
+//
+// The concrete implementation lives in core/codec (it needs every payload
+// definition), but the runtime layer must size and round-trip payloads
+// without depending on core: CheckpointProtocol charges honest wire sizes
+// when TimingConfig::use_wire_sizes is set, and the transports encode /
+// decode in wire-fidelity mode. This interface breaks that layering knot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rt/message.hpp"
+
+namespace mck::rt {
+
+/// Non-owning view of an encoded payload buffer.
+using ByteView = std::span<const std::uint8_t>;
+
+class WireCodec {
+ public:
+  virtual ~WireCodec() = default;
+
+  /// Serializes a payload (tag byte first). Empty = no codec registered
+  /// for this payload type.
+  virtual std::vector<std::uint8_t> encode(const Payload& p) const = 0;
+
+  /// Parses a buffer produced by encode(). Returns nullptr on truncation,
+  /// bad tag, or trailing garbage — never crashes on hostile input.
+  virtual std::shared_ptr<Payload> decode(ByteView bytes) const = 0;
+
+  /// Honest on-air size: encoded payload plus link header. 0 = no codec.
+  virtual std::uint64_t wire_size(const Payload& p) const = 0;
+
+  /// Encoded payload bytes only (no link header) — the piggyback cost a
+  /// computation message adds on top of its application data.
+  virtual std::uint64_t payload_bytes(const Payload& p) const = 0;
+};
+
+}  // namespace mck::rt

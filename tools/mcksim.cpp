@@ -3,7 +3,8 @@
 //   mcksim [--algo NAME] [--n N] [--rate R] [--interval S] [--hours H]
 //          [--workload p2p|group] [--ratio X] [--groups G] [--seed S]
 //          [--reps R] [--jobs N] [--transport lan|cellular]
-//          [--shared-medium] [--commit broadcast|update|hybrid] [--csv]
+//          [--shared-medium] [--commit broadcast|update|hybrid]
+//          [--wire-sizes] [--wire-fidelity] [--csv]
 //
 // Prints the paper's per-initiation metrics for one configuration;
 // --csv emits a machine-readable row instead.
@@ -40,6 +41,11 @@ namespace {
                "  --transport T     lan | cellular (default lan)\n"
                "  --shared-medium   802.11-style contention for messages\n"
                "  --commit MODE     broadcast | update | hybrid\n"
+               "  --wire-sizes      charge every message its honest codec\n"
+               "                    size (link header + encoded payload)\n"
+               "                    instead of the paper's flat budgets\n"
+               "  --wire-fidelity   serialize payloads through the codec on\n"
+               "                    every hop (lossless: results identical)\n"
                "  --csv             one CSV row instead of the report\n");
   std::exit(2);
 }
@@ -124,6 +130,11 @@ int main(int argc, char** argv) {
       } else {
         usage("unknown --commit");
       }
+    } else if (arg == "--wire-sizes") {
+      cfg.sys.timing.use_wire_sizes = true;
+      cfg.sys.timing.record_wire_bytes = true;
+    } else if (arg == "--wire-fidelity") {
+      cfg.sys.wire_fidelity = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -140,9 +151,10 @@ int main(int argc, char** argv) {
     std::printf(
         "algo,n,rate,interval_s,hours,reps,initiations,committed,aborted,"
         "tentative_per_init,redundant_mutable_per_init,commit_delay_s,"
-        "blocked_s_per_init,sys_msgs_per_init,comp_msgs,joules,consistent\n");
+        "blocked_s_per_init,sys_msgs_per_init,comp_msgs,sys_bytes,"
+        "sys_wire_bytes,comp_wire_bytes,joules,consistent\n");
     std::printf("%s,%d,%g,%g,%g,%d,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.4f,"
-                "%llu,%.2f,%d\n",
+                "%llu,%llu,%llu,%llu,%.2f,%d\n",
                 harness::to_string(cfg.sys.algorithm),
                 cfg.sys.num_processes, cfg.rate,
                 sim::to_seconds(cfg.ckpt_interval), hours, reps,
@@ -154,6 +166,10 @@ int main(int argc, char** argv) {
                 res.commit_delay_s.mean(), res.blocked_s_per_init.mean(),
                 res.sys_msgs_per_init.mean(),
                 (unsigned long long)res.comp_msgs,
+                (unsigned long long)res.stats.system_bytes(),
+                (unsigned long long)res.stats.system_wire_bytes(),
+                (unsigned long long)res.stats.wire_bytes_sent[static_cast<int>(
+                    rt::MsgKind::kComputation)],
                 res.stats.energy.total_joules(), res.consistent ? 1 : 0);
     return res.consistent ? 0 : 1;
   }
@@ -182,6 +198,23 @@ int main(int argc, char** argv) {
               (unsigned long long)res.comp_msgs);
   std::printf("forced checkpoints:     %llu\n",
               (unsigned long long)res.forced_checkpoints);
+  std::printf("system bytes charged:   %llu\n",
+              (unsigned long long)res.stats.system_bytes());
+  if (cfg.sys.timing.record_wire_bytes) {
+    std::printf("per-kind system traffic (count / charged B / honest wire B):\n");
+    for (int k = 1; k < rt::kMsgKindCount; ++k) {
+      if (res.stats.msgs_sent[k] == 0) continue;
+      std::printf("  %-12s          %llu / %llu / %llu\n",
+                  rt::to_string(static_cast<rt::MsgKind>(k)),
+                  (unsigned long long)res.stats.msgs_sent[k],
+                  (unsigned long long)res.stats.bytes_sent[k],
+                  (unsigned long long)res.stats.wire_bytes_sent[k]);
+    }
+    std::printf("computation piggyback:  %llu wire B over %llu msgs\n",
+                (unsigned long long)res.stats.wire_bytes_sent[static_cast<int>(
+                    rt::MsgKind::kComputation)],
+                (unsigned long long)res.comp_msgs);
+  }
   std::printf("radio energy:           %.1f J\n",
               res.stats.energy.total_joules());
   std::printf("consistency:            %s (%zu lines checked)\n",
