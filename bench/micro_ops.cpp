@@ -7,6 +7,8 @@
 // alone the 2 s stable-storage transfer.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "baselines/payloads.hpp"
 #include "ckpt/event_log.hpp"
 #include "ckpt/store.hpp"
@@ -14,6 +16,7 @@
 #include "core/payloads.hpp"
 #include "sim/simulator.hpp"
 #include "util/bitvec.hpp"
+#include "util/pool.hpp"
 #include "util/weight.hpp"
 
 namespace {
@@ -73,6 +76,98 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_EventQueueSteadyStateRing(benchmark::State& state) {
+  // Steady-state event loop: a fixed set of self-rescheduling events, the
+  // pattern every long simulation settles into. This is the number the
+  // slot-pool/inline-event redesign targets (see bench/perf_report.cpp
+  // for the tracked before/after comparison).
+  const int pending = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  struct Ring {
+    sim::Simulator* sim;
+    std::uint64_t* fired;
+    std::uint64_t seed;
+    void operator()() {
+      ++*fired;
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      sim->schedule_after(static_cast<sim::SimTime>((seed >> 33) % 1000 + 1),
+                          Ring{sim, fired, seed});
+    }
+  };
+  for (int i = 0; i < pending; ++i) {
+    sim.schedule_after(i + 1, Ring{&sim, &fired, static_cast<std::uint64_t>(i)});
+  }
+  for (auto _ : state) {
+    sim.step();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyStateRing)->Arg(64)->Arg(1024);
+
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  // Retry-timer churn: arm a timeout, then cancel it before it fires —
+  // the pattern that used to cost a shared_ptr<bool> per arm and now
+  // recycles a generation-counted slot.
+  sim::Simulator sim;
+  sim.schedule_at(sim::kTimeNever - 1, [] {});  // keep the queue non-empty
+  for (auto _ : state) {
+    sim::EventHandle h = sim.schedule_after(1000, [] {});
+    h.cancel();
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
+
+void BM_InlineEventVsBoxedCallable(benchmark::State& state) {
+  // Construct + invoke + destroy a Message-sized closure: InlineEvent
+  // (slot storage, no heap) vs std::function (heap-boxed capture).
+  struct Capture {
+    unsigned char pad[80] = {};
+    std::uint64_t n = 0;
+    void operator()() { benchmark::DoNotOptimize(n += pad[0]); }
+  };
+  const bool boxed = state.range(0) != 0;
+  if (boxed) {
+    for (auto _ : state) {
+      std::function<void()> f{Capture{}};
+      f();
+    }
+  } else {
+    for (auto _ : state) {
+      sim::InlineEvent f{Capture{}};
+      f();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(boxed ? "std::function" : "InlineEvent");
+}
+BENCHMARK(BM_InlineEventVsBoxedCallable)->Arg(0)->Arg(1);
+
+void BM_PayloadPooledVsFresh(benchmark::State& state) {
+  // One payload per message, acquired and dropped: pooled freelist reuse
+  // vs a fresh make_shared per message (the pre-change behaviour).
+  const bool fresh = state.range(0) != 0;
+  if (fresh) {
+    for (auto _ : state) {
+      auto p = std::make_shared<core::CompPayload>();
+      p->csn = 7;
+      benchmark::DoNotOptimize(p);
+    }
+  } else {
+    for (auto _ : state) {
+      auto p = util::make_pooled<core::CompPayload>();
+      p->csn = 7;
+      benchmark::DoNotOptimize(p);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(fresh ? "make_shared" : "make_pooled");
+}
+BENCHMARK(BM_PayloadPooledVsFresh)->Arg(0)->Arg(1);
 
 void BM_EventLogSendRecv(benchmark::State& state) {
   for (auto _ : state) {

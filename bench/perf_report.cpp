@@ -1,0 +1,424 @@
+// Hot-path performance report. Measures three things and writes them to a
+// JSON file (default BENCH_hotpath.json in the working directory):
+//
+//  1. Event-loop throughput (events/s) on a steady-state scheduling ring —
+//     K pending events, each firing reschedules itself with a Message-sized
+//     capture, with a protocol-style timer that is repeatedly scheduled and
+//     cancelled. The SAME workload runs against two queues compiled into
+//     this binary: the current Simulator (inline events + generation slot
+//     pool + 4-ary heap) and a faithful replica of the pre-change queue
+//     (std::function callables, shared_ptr<bool> cancellation flags,
+//     std::push_heap binary heap). The replica IS the pre-change
+//     measurement the acceptance bar refers to: both sides are measured by
+//     the same code, same compiler, same machine, every run.
+//
+//  2. Allocations per event / per message, via an instrumented global
+//     operator new local to this binary. Steady-state scheduling through
+//     the current Simulator must not allocate at all; pooled message
+//     payloads must recycle their control-block nodes.
+//
+//  3. Whole-simulation throughput (sim-seconds per wall-second and
+//     events/s) on a fig5-style Cao-Singhal run, so the report tracks the
+//     end-to-end number and not just the queue microcosm.
+//
+// Usage: perf_report [--quick] [--out PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "core/payloads.hpp"
+#include "util/pool.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation instrumentation (binary-local). Counts every heap block the
+// process requests; relaxed atomics keep the probe cheap enough that it
+// does not distort the throughput numbers it is qualifying.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace mck;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t allocs() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Legacy queue: a line-for-line functional replica of the pre-change
+// Simulator (see git history of src/sim/simulator.{hpp,cpp}). Kept here,
+// not in the library, so the shipping code has exactly one event queue.
+// ---------------------------------------------------------------------------
+
+namespace legacy {
+
+using EventFn = std::function<void()>;
+
+class Simulator;
+
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() {
+    if (cancelled_ && !*cancelled_) {
+      *cancelled_ = true;
+      if (pending_cancelled_) ++*pending_cancelled_;
+    }
+  }
+
+ private:
+  friend class Simulator;
+  EventHandle(std::shared_ptr<bool> flag,
+              std::shared_ptr<std::uint64_t> pending)
+      : cancelled_(std::move(flag)), pending_cancelled_(std::move(pending)) {}
+  std::shared_ptr<bool> cancelled_;
+  std::shared_ptr<std::uint64_t> pending_cancelled_;
+};
+
+class Simulator {
+ public:
+  sim::SimTime now() const { return now_; }
+
+  EventHandle schedule_at(sim::SimTime at, EventFn fn) {
+    if (*pending_cancelled_ > 64 && *pending_cancelled_ * 2 > heap_.size()) {
+      purge_cancelled();
+    }
+    auto flag = std::make_shared<bool>(false);
+    heap_.push_back(Event{at, next_seq_++, std::move(fn), flag});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return EventHandle(std::move(flag), pending_cancelled_);
+  }
+
+  EventHandle schedule_after(sim::SimTime delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool step(sim::SimTime until = sim::kTimeNever) {
+    while (!heap_.empty()) {
+      if (heap_.front().at > until) return false;
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Event ev = std::move(heap_.back());
+      heap_.pop_back();
+      if (*ev.cancelled) {
+        --*pending_cancelled_;
+        continue;
+      }
+      *ev.cancelled = true;
+      now_ = ev.at;
+      ++executed_;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t events_executed() const { return executed_; }
+
+  void purge_cancelled() {
+    if (*pending_cancelled_ == 0) return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [](const Event& e) { return *e.cancelled; }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    *pending_cancelled_ = 0;
+  }
+
+ private:
+  struct Event {
+    sim::SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  sim::SimTime now_ = sim::kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::shared_ptr<std::uint64_t> pending_cancelled_ =
+      std::make_shared<std::uint64_t>(0);
+};
+
+}  // namespace legacy
+
+// ---------------------------------------------------------------------------
+// The ring workload: the message-delivery hot path in miniature. Both
+// queues run this exact pattern:
+//  * `pending` in-flight messages; each delivery constructs the next
+//    message (tagged payload + header) and schedules its arrival event,
+//    which captures the full rt::Message — exactly what a transport
+//    arrival closure hauls.
+//  * every 4th delivery re-arms a far-future timeout and cancels the
+//    previous one, the retry-timer idiom of the protocol layer.
+// The payload allocation strategy follows each era's code: the legacy run
+// uses std::make_shared (as every send-site did pre-change), the current
+// run uses util::make_pooled. Deterministic: delays come from a fixed
+// LCG, so both queues pop the exact same schedule.
+// ---------------------------------------------------------------------------
+
+struct RingState {
+  std::uint64_t fired = 0;
+  std::uint64_t sink = 0;
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ULL;
+  sim::SimTime next_delay() {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<sim::SimTime>((lcg >> 33) % 1000 + 1);
+  }
+};
+
+template <typename Sim, typename Handle, bool kPooled>
+struct RingRunner {
+  Sim& sim;
+  RingState st;
+  Handle timer;
+
+  rt::Message make_msg() {
+    rt::Message m;
+    m.src = static_cast<ProcessId>(st.fired & 15);
+    m.dst = static_cast<ProcessId>((st.fired >> 4) & 15);
+    m.kind = rt::MsgKind::kComputation;
+    std::shared_ptr<core::CompPayload> p;
+    if constexpr (kPooled) {
+      p = util::make_pooled<core::CompPayload>();
+    } else {
+      p = std::make_shared<core::CompPayload>();
+    }
+    p->csn = static_cast<Csn>(st.fired);
+    m.payload = std::move(p);
+    return m;
+  }
+
+  void fire(rt::Message& msg) {
+    ++st.fired;
+    // "Deliver": touch the payload like a protocol handler would.
+    st.sink += static_cast<std::uint64_t>(
+        msg.payload_as<core::CompPayload>()->csn);
+    if ((st.fired & 3u) == 0) {
+      timer.cancel();
+      timer = sim.schedule_after(1u << 20, [] {});
+    }
+    sim.schedule_after(st.next_delay(),
+                       [this, m = make_msg()]() mutable { fire(m); });
+  }
+
+  // Returns {events/s, allocs/event} over `events` steady-state firings
+  // after `pending` ring slots and `warmup` firings have primed the pools.
+  std::pair<double, double> run(int pending, std::uint64_t warmup,
+                                std::uint64_t events) {
+    for (int i = 0; i < pending; ++i) {
+      sim.schedule_after(st.next_delay(), [this, m = make_msg()]() mutable {
+        fire(m);
+      });
+    }
+    while (st.fired < warmup) sim.step();
+    std::uint64_t a0 = allocs();
+    Clock::time_point t0 = Clock::now();
+    std::uint64_t target = st.fired + events;
+    while (st.fired < target) sim.step();
+    double dt = secs_since(t0);
+    std::uint64_t a1 = allocs();
+    return {static_cast<double>(events) / dt,
+            static_cast<double>(a1 - a0) / static_cast<double>(events)};
+  }
+};
+
+// Pooled vs fresh payload churn: steady-state allocations per message
+// payload acquired and dropped, mirroring what a request/reply exchange
+// does to the heap.
+std::pair<double, double> measure_payload_churn(std::uint64_t iters) {
+  // Warm the pool.
+  for (int i = 0; i < 64; ++i) {
+    auto p = util::make_pooled<core::CompPayload>();
+    (void)p;
+  }
+  std::uint64_t a0 = allocs();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    auto p = util::make_pooled<core::CompPayload>();
+    p->csn = static_cast<Csn>(i & 15);
+  }
+  double pooled =
+      static_cast<double>(allocs() - a0) / static_cast<double>(iters);
+  a0 = allocs();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    auto p = std::make_shared<core::CompPayload>();
+    p->csn = static_cast<Csn>(i & 15);
+  }
+  double fresh =
+      static_cast<double>(allocs() - a0) / static_cast<double>(iters);
+  return {pooled, fresh};
+}
+
+// Fig5-style end-to-end run: sim-seconds per wall-second and events/s.
+struct SimThroughput {
+  double sim_seconds_per_wall_second;
+  double events_per_sec;
+  double horizon_s;
+};
+
+SimThroughput measure_sim_throughput(bool quick) {
+  harness::ExperimentConfig cfg;
+  cfg.sys.algorithm = harness::Algorithm::kCaoSinghal;
+  cfg.sys.num_processes = 16;
+  cfg.sys.seed = 1000;
+  cfg.workload = harness::WorkloadKind::kPointToPoint;
+  cfg.rate = 0.1;
+  cfg.ckpt_interval = sim::seconds(900);
+  cfg.horizon = sim::seconds(quick ? 3600 : 4 * 3600);
+
+  // One throwaway rep to fault in code paths, then the timed rep.
+  harness::run_experiment(cfg);
+  Clock::time_point t0 = Clock::now();
+  harness::RunResult res = harness::run_experiment(cfg);
+  double dt = secs_since(t0);
+
+  double horizon_s = sim::to_seconds(cfg.horizon);
+  return {horizon_s / dt,
+          static_cast<double>(res.stats.deliveries) / dt, horizon_s};
+}
+
+void usage() {
+  std::fprintf(stderr, "usage: perf_report [--quick] [--out PATH]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = bench::has_flag(argc, argv, "--quick");
+  const char* out_path = "BENCH_hotpath.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      usage();
+      return 0;
+    }
+  }
+
+  int pending = 256;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--pending") == 0) pending = std::atoi(argv[i + 1]);
+  }
+  const std::uint64_t warmup = quick ? 50'000 : 200'000;
+  const std::uint64_t events = quick ? 500'000 : 4'000'000;
+
+  std::printf("perf_report: ring pending=%d warmup=%llu events=%llu%s\n",
+              pending, static_cast<unsigned long long>(warmup),
+              static_cast<unsigned long long>(events), quick ? " (quick)" : "");
+
+  // Interleave repetitions of both queues and keep the best of each, so
+  // one-off scheduler noise cannot gift either side the comparison.
+  double cur_eps = 0, cur_ape = 0, leg_eps = 0, leg_ape = 0;
+  const int reps = 3;
+  for (int r = 0; r < reps; ++r) {
+    {
+      sim::Simulator s;
+      RingRunner<sim::Simulator, sim::EventHandle, true> ring{s, {}, {}};
+      auto [eps, ape] = ring.run(pending, warmup, events);
+      if (eps > cur_eps) {
+        cur_eps = eps;
+        cur_ape = ape;
+      }
+    }
+    {
+      legacy::Simulator s;
+      RingRunner<legacy::Simulator, legacy::EventHandle, false> ring{s, {}, {}};
+      auto [eps, ape] = ring.run(pending, warmup, events);
+      if (eps > leg_eps) {
+        leg_eps = eps;
+        leg_ape = ape;
+      }
+    }
+  }
+  double speedup = leg_eps > 0 ? cur_eps / leg_eps : 0.0;
+  std::printf("event loop: current %.0f ev/s (%.3f allocs/ev), "
+              "legacy %.0f ev/s (%.3f allocs/ev), speedup %.2fx\n",
+              cur_eps, cur_ape, leg_eps, leg_ape, speedup);
+
+  auto [pooled_apm, fresh_apm] = measure_payload_churn(quick ? 200'000
+                                                            : 1'000'000);
+  std::printf("payload churn: pooled %.3f allocs/msg, fresh %.3f allocs/msg\n",
+              pooled_apm, fresh_apm);
+
+  SimThroughput st = measure_sim_throughput(quick);
+  std::printf("fig5-style run: %.0f sim-seconds/wall-second, "
+              "%.0f deliveries/s\n",
+              st.sim_seconds_per_wall_second, st.events_per_sec);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_report: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"quick\": %s,\n"
+               "  \"event_loop\": {\n"
+               "    \"ring_pending\": %d,\n"
+               "    \"ring_events\": %llu,\n"
+               "    \"current_events_per_sec\": %.1f,\n"
+               "    \"prechange_events_per_sec\": %.1f,\n"
+               "    \"speedup_over_prechange\": %.3f\n"
+               "  },\n"
+               "  \"allocs\": {\n"
+               "    \"per_event_current\": %.4f,\n"
+               "    \"per_event_prechange\": %.4f,\n"
+               "    \"per_pooled_message\": %.4f,\n"
+               "    \"per_fresh_message\": %.4f\n"
+               "  },\n"
+               "  \"sim_throughput\": {\n"
+               "    \"workload\": \"cao_singhal n=16 rate=0.1 p2p, horizon %.0fs\",\n"
+               "    \"sim_seconds_per_wall_second\": %.1f,\n"
+               "    \"deliveries_per_sec\": %.1f\n"
+               "  }\n"
+               "}\n",
+               quick ? "true" : "false", pending,
+               static_cast<unsigned long long>(events), cur_eps, leg_eps,
+               speedup, cur_ape, leg_ape, pooled_apm, fresh_apm, st.horizon_s,
+               st.sim_seconds_per_wall_second, st.events_per_sec);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  if (speedup < 1.5) {
+    std::fprintf(stderr,
+                 "WARNING: event-loop speedup %.2fx below the 1.5x bar\n",
+                 speedup);
+  }
+  return 0;
+}

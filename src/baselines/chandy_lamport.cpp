@@ -2,6 +2,7 @@
 
 #include "baselines/payloads.hpp"
 #include "util/assert.hpp"
+#include "util/pool.hpp"
 
 namespace mck::baselines {
 
@@ -33,7 +34,7 @@ void ChandyLamportProtocol::take_snapshot(ckpt::InitiationId init) {
   // process, O(N^2) total.
   for (ProcessId k = 0; k < ctx_.num_processes; ++k) {
     if (k == self()) continue;
-    auto mk = std::make_shared<ClMarker>();
+    auto mk = util::make_pooled<ClMarker>();
     mk->initiation = init;
     send_system(rt::MsgKind::kMarker, k, std::move(mk));
     ++ctx_.tracker->at(init).requests;
@@ -58,7 +59,7 @@ void ChandyLamportProtocol::finish_recording() {
     --awaiting_done_;
     maybe_commit();
   } else {
-    auto dn = std::make_shared<ClDone>();
+    auto dn = util::make_pooled<ClDone>();
     dn->initiation = init_;
     send_system(rt::MsgKind::kReply, initiator, std::move(dn));
     ++ctx_.tracker->at(init_).replies;
@@ -70,7 +71,7 @@ void ChandyLamportProtocol::maybe_commit() {
   if (awaiting_done_ > 0 || !done_sent_) return;
   ckpt::InitiationStats& st = ctx_.tracker->at(init_);
   st.committed_at = ctx_.sim->now();
-  auto cm = std::make_shared<ClCommit>();
+  auto cm = util::make_pooled<ClCommit>();
   cm->initiation = init_;
   broadcast_system(rt::MsgKind::kCommit, cm);
   st.commits += static_cast<std::uint64_t>(ctx_.num_processes - 1);

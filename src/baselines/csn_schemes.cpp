@@ -2,6 +2,7 @@
 
 #include "baselines/payloads.hpp"
 #include "util/assert.hpp"
+#include "util/pool.hpp"
 
 namespace mck::baselines {
 
@@ -12,7 +13,7 @@ void CsnSchemeProtocol::start() {
 
 std::shared_ptr<const rt::Payload> CsnSchemeProtocol::computation_payload(
     ProcessId /*dst*/) {
-  auto p = std::make_shared<CsComp>();
+  auto p = util::make_pooled<CsComp>();
   p->csn = csn_[static_cast<std::size_t>(self())];
   sent_ = true;
   return p;
@@ -39,7 +40,7 @@ void CsnSchemeProtocol::take_stable(ckpt::InitiationId init) {
   if (init != 0) {
     for (ProcessId k = 0; k < ctx_.num_processes; ++k) {
       if (k == self() || !R_.test(static_cast<std::size_t>(k))) continue;
-      auto rq = std::make_shared<CsRequest>();
+      auto rq = util::make_pooled<CsRequest>();
       rq->initiation = init;
       rq->req_csn = csn_[static_cast<std::size_t>(k)];
       send_system(rt::MsgKind::kRequest, k, std::move(rq));

@@ -2,6 +2,7 @@
 
 #include "baselines/payloads.hpp"
 #include "util/assert.hpp"
+#include "util/pool.hpp"
 
 namespace mck::baselines {
 
@@ -9,7 +10,7 @@ void ElnozahyProtocol::start() {}
 
 std::shared_ptr<const rt::Payload> ElnozahyProtocol::computation_payload(
     ProcessId /*dst*/) {
-  auto p = std::make_shared<EjComp>();
+  auto p = util::make_pooled<EjComp>();
   p->csn = csn_;
   p->initiation = pending_init_;
   return p;
@@ -38,7 +39,7 @@ void ElnozahyProtocol::take_checkpoint(Csn new_csn, ckpt::InitiationId init) {
         ctx_.tracker->at(init).committed_at = ctx_.sim->now();
       }
     } else {
-      auto rp = std::make_shared<EjReply>();
+      auto rp = util::make_pooled<EjReply>();
       rp->initiation = init;
       send_system(rt::MsgKind::kReply, initiator, std::move(rp));
       ++ctx_.tracker->at(init).replies;
@@ -55,7 +56,7 @@ void ElnozahyProtocol::initiate() {
   transfer_done_ = false;
   take_checkpoint(c, init);
 
-  auto rq = std::make_shared<EjRequest>();
+  auto rq = util::make_pooled<EjRequest>();
   rq->csn = c;
   rq->initiation = init;
   broadcast_system(rt::MsgKind::kRequest, rq);
@@ -90,7 +91,7 @@ void ElnozahyProtocol::handle_system(const rt::Message& m) {
       if (--awaiting_replies_ == 0 && transfer_done_) {
         ckpt::InitiationStats& st = ctx_.tracker->at(p->initiation);
         st.committed_at = ctx_.sim->now();
-        auto cm = std::make_shared<EjCommit>();
+        auto cm = util::make_pooled<EjCommit>();
         cm->initiation = p->initiation;
         broadcast_system(rt::MsgKind::kCommit, cm);
         st.commits += static_cast<std::uint64_t>(ctx_.num_processes - 1);

@@ -4,6 +4,7 @@
 
 #include "baselines/payloads.hpp"
 #include "util/assert.hpp"
+#include "util/pool.hpp"
 #include "util/log.hpp"
 
 namespace mck::baselines {
@@ -19,7 +20,7 @@ ckpt::InitiationStats& KooTouegProtocol::stats_of(ckpt::InitiationId init) {
 
 std::shared_ptr<const rt::Payload> KooTouegProtocol::computation_payload(
     ProcessId /*dst*/) {
-  auto p = std::make_shared<KtComp>();
+  auto p = util::make_pooled<KtComp>();
   p->csn = own_csn_;
   sent_ = true;
   return p;
@@ -67,7 +68,7 @@ void KooTouegProtocol::take_tentative_and_propagate(ckpt::InitiationId init,
   // message behaviour of Table 1).
   for (ProcessId k = 0; k < ctx_.num_processes; ++k) {
     if (k == self() || !R_.test(static_cast<std::size_t>(k))) continue;
-    auto rq = std::make_shared<KtRequest>();
+    auto rq = util::make_pooled<KtRequest>();
     rq->initiation = init;
     rq->req_csn = csn_[static_cast<std::size_t>(k)];
     send_system(rt::MsgKind::kRequest, k, std::move(rq));
@@ -101,7 +102,7 @@ void KooTouegProtocol::maybe_reply() {
     stats_of(c.initiation).committed_at = ctx_.sim->now();
     finish_commit(c.initiation);
   } else {
-    auto rp = std::make_shared<KtReply>();
+    auto rp = util::make_pooled<KtReply>();
     rp->initiation = c.initiation;
     send_system(rt::MsgKind::kReply, c.parent, std::move(rp));
     ++stats_of(c.initiation).replies;
@@ -122,7 +123,7 @@ void KooTouegProtocol::finish_commit(ckpt::InitiationId init) {
   st.blocked_time += ctx_.sim->now() - rec.taken_at;
 
   for (ProcessId child : c.children) {
-    auto cm = std::make_shared<KtCommit>();
+    auto cm = util::make_pooled<KtCommit>();
     cm->initiation = init;
     send_system(rt::MsgKind::kCommit, child, std::move(cm));
     ++st.commits;
@@ -141,7 +142,7 @@ void KooTouegProtocol::handle_system(const rt::Message& m) {
         // immediately so the tree unwinds.
         MCK_ASSERT_MSG(coord_ && coord_->initiation == p->initiation,
                        "Koo-Toueg requires serialized initiations");
-        auto rp = std::make_shared<KtReply>();
+        auto rp = util::make_pooled<KtReply>();
         rp->initiation = p->initiation;
         send_system(rt::MsgKind::kReply, m.src, std::move(rp));
         ++stats_of(p->initiation).replies;
@@ -150,7 +151,7 @@ void KooTouegProtocol::handle_system(const rt::Message& m) {
       }
       if (own_csn_ > p->req_csn) {
         // We checkpointed after the message that created the dependency.
-        auto rp = std::make_shared<KtReply>();
+        auto rp = util::make_pooled<KtReply>();
         rp->initiation = p->initiation;
         send_system(rt::MsgKind::kReply, m.src, std::move(rp));
         ++stats_of(p->initiation).replies;

@@ -2,12 +2,13 @@
 
 #include "baselines/payloads.hpp"
 #include "util/assert.hpp"
+#include "util/pool.hpp"
 
 namespace mck::baselines {
 
 std::shared_ptr<const rt::Payload> LaiYangProtocol::computation_payload(
     ProcessId /*dst*/) {
-  auto p = std::make_shared<LyComp>();
+  auto p = util::make_pooled<LyComp>();
   p->round = round_;
   p->initiation = pending_init_;
   return p;
@@ -35,7 +36,7 @@ void LaiYangProtocol::take_snapshot(Csn new_round, ckpt::InitiationId init) {
       maybe_commit(init);
       return;
     }
-    auto rp = std::make_shared<LyReply>();
+    auto rp = util::make_pooled<LyReply>();
     rp->initiation = init;
     send_system(rt::MsgKind::kReply, initiator, std::move(rp));
     ++ctx_.tracker->at(init).replies;
@@ -48,7 +49,7 @@ void LaiYangProtocol::maybe_commit(ckpt::InitiationId init) {
   }
   ckpt::InitiationStats& st = ctx_.tracker->at(init);
   st.committed_at = ctx_.sim->now();
-  auto cm = std::make_shared<LyCommit>();
+  auto cm = util::make_pooled<LyCommit>();
   cm->initiation = init;
   broadcast_system(rt::MsgKind::kCommit, cm);
   st.commits += static_cast<std::uint64_t>(ctx_.num_processes - 1);
@@ -68,7 +69,7 @@ void LaiYangProtocol::initiate() {
   awaiting_replies_ = ctx_.num_processes - 1;
   transfer_done_ = false;
   take_snapshot(next, init);
-  auto an = std::make_shared<LyAnnounce>();
+  auto an = util::make_pooled<LyAnnounce>();
   an->round = next;
   an->initiation = init;
   broadcast_system(rt::MsgKind::kRequest, an);

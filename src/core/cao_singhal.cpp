@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/pool.hpp"
 #include "util/log.hpp"
 
 namespace mck::core {
@@ -116,7 +117,7 @@ void CaoSinghalProtocol::discard_all_mutables(bool merge_back) {
 
 std::shared_ptr<const rt::Payload> CaoSinghalProtocol::computation_payload(
     ProcessId dst) {
-  auto p = std::make_shared<CompPayload>();
+  auto p = util::make_pooled<CompPayload>();
   p->csn = csn_[static_cast<std::size_t>(self())];
   if (cp_state_) {
     p->trigger = own_trigger_;
@@ -228,7 +229,7 @@ Weight CaoSinghalProtocol::prop_cp(const BitVec& deps,
     }
 
     weight.halve();
-    auto rp = std::make_shared<RequestPayload>();
+    auto rp = util::make_pooled<RequestPayload>();
     rp->mr = temp;
     rp->sender_csn = csn_[static_cast<std::size_t>(self())];
     rp->trigger = trigger;
@@ -384,7 +385,7 @@ void CaoSinghalProtocol::send_reply(const Trigger& trigger, Weight weight,
     bank_local_weight(trigger, std::move(weight));
     return;
   }
-  auto rp = std::make_shared<ReplyPayload>();
+  auto rp = util::make_pooled<ReplyPayload>();
   rp->trigger = trigger;
   rp->weight = std::move(weight);
   rp->refused = refused;
@@ -494,7 +495,7 @@ void CaoSinghalProtocol::initiator_decide_commit() {
       opts_.commit_mode == CommitMode::kBroadcast ||
       (opts_.commit_mode == CommitMode::kHybrid &&
        repliers_.size() > opts_.hybrid_threshold);
-  auto cp = std::make_shared<CommitPayload>();
+  auto cp = util::make_pooled<CommitPayload>();
   cp->trigger = t;
   cp->abort_set = abort_set;
   if (use_broadcast) {
@@ -526,7 +527,7 @@ void CaoSinghalProtocol::initiator_abort() {
 
   ckpt::InitiationStats& st = init_stats(t);
   st.aborted_at = ctx_.sim->now();
-  auto ap = std::make_shared<AbortPayload>();
+  auto ap = util::make_pooled<AbortPayload>();
   ap->trigger = t;
   broadcast_system(rt::MsgKind::kAbort, ap);
   st.aborts += static_cast<std::uint64_t>(ctx_.num_processes - 1);
@@ -724,7 +725,7 @@ void CaoSinghalProtocol::handle_clear(const Trigger& t, bool is_commit,
   // Update approach: relay the termination along the send history.
   if (opts_.commit_mode != CommitMode::kBroadcast && had_effect &&
       !cp_send_history_.empty()) {
-    auto clr = std::make_shared<ClearPayload>();
+    auto clr = util::make_pooled<ClearPayload>();
     clr->trigger = t;
     std::vector<ProcessId> hist;
     hist.swap(cp_send_history_);

@@ -4,6 +4,7 @@
 
 #include "baselines/payloads.hpp"
 #include "util/assert.hpp"
+#include "util/pool.hpp"
 
 namespace mck::core {
 
@@ -90,7 +91,7 @@ void put_comp(WireWriter& w, const rt::Payload& p0) {
   put_trigger(w, p.trigger);
 }
 std::shared_ptr<rt::Payload> get_comp(WireReader& r) {
-  auto p = std::make_shared<CompPayload>();
+  auto p = util::make_pooled<CompPayload>();
   p->csn = r.u32();
   p->trigger = get_trigger(r);
   return p;
@@ -110,7 +111,7 @@ void put_request(WireWriter& w, const rt::Payload& p0) {
   put_weight(w, p.weight);
 }
 std::shared_ptr<rt::Payload> get_request(WireReader& r) {
-  auto p = std::make_shared<RequestPayload>();
+  auto p = util::make_pooled<RequestPayload>();
   std::uint16_t n = r.u16();
   for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
     MrEntry e;
@@ -136,7 +137,7 @@ void put_reply(WireWriter& w, const rt::Payload& p0) {
   put_bitvec(w, p.deps);
 }
 std::shared_ptr<rt::Payload> get_reply(WireReader& r) {
-  auto p = std::make_shared<ReplyPayload>();
+  auto p = util::make_pooled<ReplyPayload>();
   p->trigger = get_trigger(r);
   p->weight = get_weight(r);
   p->refused = r.u8() != 0;
@@ -154,7 +155,7 @@ void put_commit(WireWriter& w, const rt::Payload& p0) {
   put_bitvec(w, p.abort_set);
 }
 std::shared_ptr<rt::Payload> get_commit(WireReader& r) {
-  auto p = std::make_shared<CommitPayload>();
+  auto p = util::make_pooled<CommitPayload>();
   p->trigger = get_trigger(r);
   p->abort_set = get_bitvec(r);
   return p;
@@ -164,7 +165,7 @@ void put_abort(WireWriter& w, const rt::Payload& p0) {
   put_trigger(w, static_cast<const AbortPayload&>(p0).trigger);
 }
 std::shared_ptr<rt::Payload> get_abort(WireReader& r) {
-  auto p = std::make_shared<AbortPayload>();
+  auto p = util::make_pooled<AbortPayload>();
   p->trigger = get_trigger(r);
   return p;
 }
@@ -173,7 +174,7 @@ void put_clear(WireWriter& w, const rt::Payload& p0) {
   put_trigger(w, static_cast<const ClearPayload&>(p0).trigger);
 }
 std::shared_ptr<rt::Payload> get_clear(WireReader& r) {
-  auto p = std::make_shared<ClearPayload>();
+  auto p = util::make_pooled<ClearPayload>();
   p->trigger = get_trigger(r);
   return p;
 }
@@ -187,7 +188,7 @@ void put_init_only(WireWriter& w, const rt::Payload& p0) {
 }
 template <typename T>
 std::shared_ptr<rt::Payload> get_init_only(WireReader& r) {
-  auto p = std::make_shared<T>();
+  auto p = util::make_pooled<T>();
   p->initiation = r.u64();
   return p;
 }
@@ -200,7 +201,7 @@ void put_csn_init(WireWriter& w, const rt::Payload& p0) {
 }
 template <typename T, Csn T::* Field>
 std::shared_ptr<rt::Payload> get_csn_init(WireReader& r) {
-  auto p = std::make_shared<T>();
+  auto p = util::make_pooled<T>();
   p.get()->*Field = r.u32();
   p->initiation = r.u64();
   return p;
@@ -210,7 +211,7 @@ void put_kt_comp(WireWriter& w, const rt::Payload& p0) {
   w.u32(static_cast<const baselines::KtComp&>(p0).csn);
 }
 std::shared_ptr<rt::Payload> get_kt_comp(WireReader& r) {
-  auto p = std::make_shared<baselines::KtComp>();
+  auto p = util::make_pooled<baselines::KtComp>();
   p->csn = r.u32();
   return p;
 }
@@ -223,7 +224,7 @@ void put_init_req_csn(WireWriter& w, const rt::Payload& p0) {
 }
 template <typename T>
 std::shared_ptr<rt::Payload> get_init_req_csn(WireReader& r) {
-  auto p = std::make_shared<T>();
+  auto p = util::make_pooled<T>();
   p->initiation = r.u64();
   p->req_csn = r.u32();
   return p;
@@ -233,7 +234,7 @@ void put_cs_comp(WireWriter& w, const rt::Payload& p0) {
   w.u32(static_cast<const baselines::CsComp&>(p0).csn);
 }
 std::shared_ptr<rt::Payload> get_cs_comp(WireReader& r) {
-  auto p = std::make_shared<baselines::CsComp>();
+  auto p = util::make_pooled<baselines::CsComp>();
   p->csn = r.u32();
   return p;
 }

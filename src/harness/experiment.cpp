@@ -90,8 +90,12 @@ RunResult run_experiment(const ExperimentConfig& config) {
   scheduler.start(config.horizon);
 
   // Run to quiescence (nothing schedules beyond the horizon except
-  // in-flight coordinations, which terminate — Theorem 2).
+  // in-flight coordinations, which terminate — Theorem 2). The drain
+  // check counts live events only: cancelled tombstones still parked in
+  // the queue are not remaining work.
   system.simulator().run_until(sim::kTimeNever);
+  MCK_ASSERT_MSG(system.simulator().live_pending() == 0,
+                 "experiment did not drain its event queue");
 
   // Aggregate.
   RunResult result;

@@ -92,7 +92,7 @@ void CellularTransport::arrive(rt::Message msg, MssId routed_to) {
 
   net::FifoSequencer& fifo =
       msg.kind == rt::MsgKind::kComputation ? comp_fifo_ : sys_fifo_;
-  for (rt::Message& m : fifo.arrive(std::move(msg))) {
+  fifo.arrive(std::move(msg), [this](rt::Message m) {
     if (is_disconnected(m.dst) && m.kind == rt::MsgKind::kComputation) {
       // Buffered at the MSS until reconnection (Section 2.2).
       ++buffered_total_;
@@ -100,7 +100,7 @@ void CellularTransport::arrive(rt::Message msg, MssId routed_to) {
     } else {
       hand_to_process(std::move(m));
     }
-  }
+  });
 }
 
 void CellularTransport::hand_to_process(rt::Message msg) {

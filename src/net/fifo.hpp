@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <map>
-#include <vector>
 
 #include "rt/message.hpp"
 #include "util/assert.hpp"
@@ -27,27 +26,30 @@ class FifoSequencer {
     msg.channel_seq = chan(msg.src, msg.dst).next_send++;
   }
 
-  /// Registers the arrival of `msg` and returns every message that is now
-  /// deliverable on its channel, in FIFO order (empty if `msg` has to
-  /// wait for a predecessor still in flight).
-  std::vector<rt::Message> arrive(rt::Message msg) {
+  /// Registers the arrival of `msg` and invokes `deliver` for every
+  /// message that is now deliverable on its channel, in FIFO order (not
+  /// at all if `msg` has to wait for a predecessor still in flight).
+  /// Callback-style so the in-order common case hands the message
+  /// straight through without ever touching the heap; only overtakers
+  /// (out-of-order arrivals) are parked in the per-channel map.
+  template <typename Deliver>
+  void arrive(rt::Message msg, Deliver&& deliver) {
     Chan& c = chan(msg.src, msg.dst);
-    std::vector<rt::Message> out;
     if (msg.channel_seq != c.next_deliver) {
       MCK_ASSERT_MSG(msg.channel_seq > c.next_deliver,
                      "duplicate channel sequence number");
       c.pending.emplace(msg.channel_seq, std::move(msg));
-      return out;
+      return;
     }
     ++c.next_deliver;
-    out.push_back(std::move(msg));
+    deliver(std::move(msg));
     for (auto it = c.pending.begin();
          it != c.pending.end() && it->first == c.next_deliver;) {
-      out.push_back(std::move(it->second));
+      rt::Message m = std::move(it->second);
       ++c.next_deliver;
       it = c.pending.erase(it);
+      deliver(std::move(m));
     }
-    return out;
   }
 
  private:

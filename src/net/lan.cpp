@@ -82,15 +82,15 @@ void LanTransport::deliver_at(sim::SimTime at, rt::Message msg) {
 void LanTransport::arrive(rt::Message msg) {
   // FIFO per ordered pair (Section 2.1): overtakers wait for their
   // predecessors.
-  for (rt::Message& m : fifo_.arrive(std::move(msg))) {
+  fifo_.arrive(std::move(msg), [this](rt::Message m) {
     if (!reachable(m.dst) && !survives_endpoint_failure(m.kind)) {
-      continue;  // failed meanwhile
+      return;  // failed meanwhile
     }
     MCK_ASSERT_MSG(static_cast<bool>(sinks_[static_cast<std::size_t>(m.dst)]),
                    "no delivery sink registered");
     decode_from_wire(m);  // wire-fidelity mode: re-materialize the payload
     sinks_[static_cast<std::size_t>(m.dst)](m);
-  }
+  });
 }
 
 void LanTransport::send(rt::Message msg) {

@@ -4,45 +4,37 @@
 
 namespace mck::sim {
 
-EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
-  MCK_ASSERT_MSG(at >= now_, "cannot schedule into the past");
-  // Compact once tombstones are both numerous and the majority of the
-  // queue; keeps schedule/pop amortized O(log live) even under heavy
-  // cancellation (retry timers, cancelled timeouts).
-  if (*pending_cancelled_ > 64 && *pending_cancelled_ * 2 > heap_.size()) {
-    purge_cancelled();
+// Cold paths only — the per-event schedule/fire functions are inline in
+// the header (see "hot path" section there).
+
+void Simulator::heap_rebuild() {
+  if (heap_.size() < 2) return;
+  for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+    sift_down(i);
   }
-  auto flag = std::make_shared<bool>(false);
-  heap_.push_back(Event{at, next_seq_++, std::move(fn), flag});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  return EventHandle(std::move(flag), pending_cancelled_);
 }
 
-Simulator::Event Simulator::pop_top() {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  return ev;
+std::uint32_t Simulator::grow_slots() {
+  // Grow by one chunk. Slot addresses stay stable forever (step() relies
+  // on that to run callables in place); the new slots thread onto the
+  // freelist so the lowest index is handed out first.
+  MCK_ASSERT_MSG(num_slots_ + kChunkSize <= kNoSlot,
+                 "event slot pool exhausted");
+  chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  std::uint32_t base = num_slots_;
+  num_slots_ += kChunkSize;
+  for (std::uint32_t i = num_slots_; i-- > base + 1;) {
+    slot_ref(i).next_free = free_head_;
+    free_head_ = i;
+  }
+  return base;
 }
 
-bool Simulator::step(SimTime until) {
-  while (!heap_.empty()) {
-    if (heap_.front().at > until) return false;
-    Event ev = pop_top();
-    if (*ev.cancelled) {
-      ++tombstones_reaped_;
-      --*pending_cancelled_;
-      continue;
-    }
-    // Mark fired so a late EventHandle::cancel() is a no-op instead of
-    // miscounting a tombstone that is no longer queued.
-    *ev.cancelled = true;
-    now_ = ev.at;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+void Simulator::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+  if (!is_pending(slot, gen)) return;  // fired, cancelled, or reused
+  slot_ref(slot).fn.reset();
+  release_slot(slot);
+  ++pending_cancelled_;  // its heap record is now a tombstone
 }
 
 std::uint64_t Simulator::run_until(SimTime until) {
@@ -58,13 +50,26 @@ std::uint64_t Simulator::run_until(SimTime until) {
 }
 
 void Simulator::purge_cancelled() {
-  if (*pending_cancelled_ == 0) return;
-  tombstones_reaped_ += *pending_cancelled_;
+  if (pending_cancelled_ == 0) return;
+  tombstones_reaped_ += pending_cancelled_;
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                             [](const Event& e) { return *e.cancelled; }),
+                             [this](const HeapRec& r) {
+                               return slot_ref(r.slot).generation != r.gen;
+                             }),
               heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
-  *pending_cancelled_ = 0;
+  heap_rebuild();
+  pending_cancelled_ = 0;
+}
+
+void Simulator::cancel_all() {
+  tombstones_reaped_ += pending_cancelled_;
+  for (const HeapRec& r : heap_) {
+    if (slot_ref(r.slot).generation != r.gen) continue;  // already a tombstone
+    slot_ref(r.slot).fn.reset();
+    release_slot(r.slot);
+  }
+  heap_.clear();
+  pending_cancelled_ = 0;
 }
 
 }  // namespace mck::sim

@@ -3,46 +3,51 @@
 // Events at equal timestamps fire in scheduling order (a monotonically
 // increasing sequence number breaks ties), which makes every run a pure
 // function of (configuration, seed).
+//
+// Hot-path memory discipline (see DESIGN.md): the steady state is
+// allocation-free. Callables live inline in a generation-counted slot
+// pool (InlineEvent — oversized captures fail to compile), the priority
+// queue is a 4-ary heap of compact 24-byte {time, seq, slot, generation}
+// records, and cancellation bumps a slot's generation instead of
+// allocating a shared flag. A handle whose generation no longer matches
+// its slot is stale — fired, cancelled, or from a recycled slot — and
+// cancel/valid on it are safe no-ops.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_event.hpp"
 #include "sim/time.hpp"
 #include "util/assert.hpp"
 
 namespace mck::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineEvent;
 
-/// Handle that allows cancelling a scheduled event. Cancellation is lazy:
-/// the event stays queued as a tombstone that becomes a no-op when it
-/// fires; the simulator counts live tombstones and compacts the queue
-/// when they dominate it.
+class Simulator;
+
+/// Handle to a scheduled event: {slot index, generation} into the owning
+/// simulator's slot pool. valid() answers "is this event still pending?"
+/// — false once it fired, was cancelled, or was never scheduled. The
+/// handle must not outlive the Simulator it came from.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  bool valid() const { return cancelled_ != nullptr; }
-  void cancel() {
-    if (cancelled_ && !*cancelled_) {
-      *cancelled_ = true;
-      if (pending_cancelled_) ++*pending_cancelled_;
-    }
-  }
+  inline bool valid() const;
+  inline void cancel();
 
  private:
   friend class Simulator;
-  EventHandle(std::shared_ptr<bool> flag,
-              std::shared_ptr<std::uint64_t> pending)
-      : cancelled_(std::move(flag)), pending_cancelled_(std::move(pending)) {}
-  std::shared_ptr<bool> cancelled_;
-  // Shared with the owning Simulator: number of cancelled events still
-  // sitting in its queue. Cancelling an already-fired event is a no-op
-  // because the simulator marks events cancelled as it pops them.
-  std::shared_ptr<std::uint64_t> pending_cancelled_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulator {
@@ -53,13 +58,22 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` to run at absolute time `at` (>= now).
-  EventHandle schedule_at(SimTime at, EventFn fn);
+  /// Schedules `fn` to run at absolute time `at` (>= now). Templated so
+  /// the closure is constructed directly inside its pool slot — the
+  /// steady-state schedule path performs no type-erased relocation and no
+  /// allocation.
+  template <typename F>
+  EventHandle schedule_at(SimTime at, F&& fn) {
+    std::uint32_t slot = prepare_slot(at);
+    slot_ref(slot).fn.emplace(std::forward<F>(fn));
+    return finish_schedule(at, slot);
+  }
 
   /// Schedules `fn` to run `delay` after the current time.
-  EventHandle schedule_after(SimTime delay, EventFn fn) {
+  template <typename F>
+  EventHandle schedule_after(SimTime delay, F&& fn) {
     MCK_ASSERT(delay >= 0);
-    return schedule_at(now_ + delay, std::move(fn));
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Runs until the queue drains or `until` is passed; returns the number
@@ -67,7 +81,8 @@ class Simulator {
   std::uint64_t run_until(SimTime until = kTimeNever);
 
   /// Runs a single event; returns false if the queue is empty or the next
-  /// event is beyond `until`.
+  /// event is beyond `until`. Defined inline below — this is the hottest
+  /// function in the tree and must inline into the run loop.
   bool step(SimTime until = kTimeNever);
 
   /// Stops the run loop after the current event finishes.
@@ -78,41 +93,226 @@ class Simulator {
   /// bursty cancellation) can force compaction.
   void purge_cancelled();
 
+  /// Cancels every pending event (clean teardown of a long-lived sim).
+  /// Queued tombstones count as reaped; live events are simply dropped.
+  void cancel_all();
+
   bool empty() const { return heap_.empty(); }
+  /// Queue slots in use, *including* cancelled tombstones awaiting reap.
   std::size_t pending() const { return heap_.size(); }
+  /// Events that are actually going to fire (pending minus tombstones) —
+  /// the honest measure of remaining work for drain/idle checks.
+  std::size_t live_pending() const {
+    return heap_.size() - static_cast<std::size_t>(pending_cancelled_);
+  }
   /// Cancelled events still occupying queue slots.
-  std::uint64_t cancelled_pending() const { return *pending_cancelled_; }
+  std::uint64_t cancelled_pending() const { return pending_cancelled_; }
   std::uint64_t events_executed() const { return executed_; }
   std::uint64_t tombstones_reaped() const { return tombstones_reaped_; }
+  /// Size of the slot pool (high-water mark of concurrently pending
+  /// events, rounded up to the chunk size; slots are recycled through a
+  /// freelist, never released).
+  std::size_t slot_count() const { return num_slots_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+  friend struct SimulatorTestPeer;  // generation-wraparound tests
+
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// One pooled event: the callable plus the generation that distinguishes
+  /// the current tenant from stale handles/records. The generation bumps
+  /// when the event fires or is cancelled (freeing the slot), so a heap
+  /// record or EventHandle holding the old generation is recognizably
+  /// dead even after the slot is reused. next_free links the freelist and
+  /// is meaningful only while the slot is free.
+  struct Slot {
+    InlineEvent fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  /// Compact 24-byte heap record; the callable stays in the slot pool so
+  /// heap sift operations move 24 bytes instead of a 100+-byte closure.
+  struct HeapRec {
     SimTime at;
     std::uint64_t seq;
-    EventFn fn;
-    std::shared_ptr<bool> cancelled;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
-  /// Removes and returns the earliest queued event.
-  Event pop_top();
+  static bool earlier(const HeapRec& a, const HeapRec& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  // Binary heap ordered by Later (std::push_heap/pop_heap), kept as a
-  // plain vector so events can be *moved* out on pop and tombstones can
-  // be compacted in place.
-  std::vector<Event> heap_;
+  // 4-ary min-heap over HeapRec: half the tree depth of a binary heap and
+  // 4 children per cache line of records, so sift-down touches fewer
+  // lines. Pop order is the total order (at, seq) — identical event
+  // ordering to any other heap arity.
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void heap_push(HeapRec rec);
+  HeapRec heap_pop_top();
+  void heap_rebuild();
+
+  std::uint32_t acquire_slot();
+  /// Freelist-empty slow path of acquire_slot: appends a chunk.
+  std::uint32_t grow_slots();
+  void release_slot(std::uint32_t slot);
+  bool is_pending(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < num_slots_ && slot_ref(slot).generation == gen;
+  }
+  /// Cancels the event in `slot` if `gen` is still its current tenant.
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen);
+
+  /// Asserts `at` is schedulable, maybe compacts tombstones, and returns a
+  /// fresh slot whose InlineEvent is empty and ready for emplace().
+  std::uint32_t prepare_slot(SimTime at);
+  /// Pushes the heap record for the freshly filled `slot`.
+  EventHandle finish_schedule(SimTime at, std::uint32_t slot);
+
+  // Slots live in fixed-size chunks, so a slot's address NEVER changes:
+  // growing the pool appends a chunk instead of reallocating, which lets
+  // step() invoke a callable in place while it schedules new events.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  Slot& slot_ref(std::uint32_t i) {
+    return chunks_[i >> kChunkShift][i & (kChunkSize - 1)];
+  }
+  const Slot& slot_ref(std::uint32_t i) const {
+    return chunks_[i >> kChunkShift][i & (kChunkSize - 1)];
+  }
+
+  std::vector<HeapRec> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t num_slots_ = 0;
+  std::uint32_t free_head_ = kNoSlot;
   SimTime now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t tombstones_reaped_ = 0;
-  std::shared_ptr<std::uint64_t> pending_cancelled_ =
-      std::make_shared<std::uint64_t>(0);
+  std::uint64_t pending_cancelled_ = 0;
   bool stop_requested_ = false;
 };
+
+inline bool EventHandle::valid() const {
+  return sim_ != nullptr && sim_->is_pending(slot_, gen_);
+}
+
+inline void EventHandle::cancel() {
+  if (sim_ != nullptr) sim_->cancel_slot(slot_, gen_);
+}
+
+// ---- hot path, defined inline ----------------------------------------
+// schedule/fire run millions of times per replication; keeping these in
+// the header lets them inline into the transports' send paths and the
+// run loop (the project builds without LTO, so a .cpp definition would
+// cost an opaque call per event).
+
+inline void Simulator::sift_up(std::size_t i) {
+  HeapRec rec = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 4;
+    if (!earlier(rec, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = rec;
+}
+
+inline void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  HeapRec rec = heap_[i];
+  for (;;) {
+    std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t last = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], rec)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = rec;
+}
+
+inline void Simulator::heap_push(HeapRec rec) {
+  heap_.push_back(rec);
+  sift_up(heap_.size() - 1);
+}
+
+inline Simulator::HeapRec Simulator::heap_pop_top() {
+  HeapRec top = heap_[0];
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+inline std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    std::uint32_t slot = free_head_;
+    free_head_ = slot_ref(slot).next_free;
+    return slot;
+  }
+  return grow_slots();
+}
+
+inline void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slot_ref(slot);
+  // The bump invalidates every outstanding handle and heap record for
+  // this tenancy; the slot is then safe to recycle.
+  ++s.generation;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+inline std::uint32_t Simulator::prepare_slot(SimTime at) {
+  MCK_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  // Compact once tombstones are both numerous and the majority of the
+  // queue; keeps schedule/pop amortized O(log live) even under heavy
+  // cancellation (retry timers, cancelled timeouts).
+  if (pending_cancelled_ > 64 && pending_cancelled_ * 2 > heap_.size()) {
+    purge_cancelled();
+  }
+  return acquire_slot();
+}
+
+inline EventHandle Simulator::finish_schedule(SimTime at, std::uint32_t slot) {
+  std::uint32_t gen = slot_ref(slot).generation;
+  heap_push(HeapRec{at, next_seq_++, slot, gen});
+  return EventHandle(this, slot, gen);
+}
+
+inline bool Simulator::step(SimTime until) {
+  while (!heap_.empty()) {
+    if (heap_[0].at > until) return false;
+    HeapRec rec = heap_pop_top();
+    Slot& s = slot_ref(rec.slot);
+    if (s.generation != rec.gen) {  // cancelled: reap the tombstone
+      ++tombstones_reaped_;
+      --pending_cancelled_;
+      continue;
+    }
+    // Bump the generation *before* running the callable: a late
+    // EventHandle::cancel() (including self-cancel from inside the event)
+    // sees a stale generation instead of miscounting a tombstone that is
+    // no longer queued. The callable runs in place — slot addresses are
+    // chunk-stable, and the slot rejoins the freelist only after it
+    // returns, so events it schedules can never move or reuse its storage.
+    ++s.generation;
+    now_ = rec.at;
+    ++executed_;
+    s.fn.invoke_and_reset();
+    s.next_free = free_head_;
+    free_head_ = rec.slot;
+    return true;
+  }
+  return false;
+}
 
 }  // namespace mck::sim

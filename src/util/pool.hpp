@@ -1,0 +1,113 @@
+// Fixed-size freelist pool behind std::allocate_shared.
+//
+// The message path creates one short-lived payload object per message —
+// a make_shared, i.e. one heap allocation, per send. Every allocation a
+// Pool<T> serves has the same size (shared_ptr's combined control-block +
+// T node), so freed nodes recycle through a freelist and the steady state
+// never touches the global heap: acquire() pops a block, the last
+// shared_ptr release pushes it back.
+//
+// Ownership rule: the pool must outlive every shared_ptr it produced (the
+// release path deallocates into the pool). make_pooled<T>() below uses a
+// thread_local pool, which works because simulations are single-threaded
+// per replication and payloads never migrate across threads; pooled
+// pointers must not be stashed in objects that outlive the thread.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mck::util {
+
+template <typename T>
+class Pool {
+ public:
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  ~Pool() { shrink(); }
+
+  /// Constructs a pool-backed shared_ptr<T>. Allocates only when the
+  /// freelist is empty (cold start or high-water growth).
+  template <typename... Args>
+  std::shared_ptr<T> acquire(Args&&... args) {
+    return std::allocate_shared<T>(Allocator<T>{this},
+                                   std::forward<Args>(args)...);
+  }
+
+  /// Blocks sitting in the freelist, ready for reuse.
+  std::size_t free_blocks() const { return free_.size(); }
+  /// Blocks ever carved from the heap (freelisted + outstanding).
+  std::size_t blocks_allocated() const { return allocated_; }
+  std::size_t outstanding() const { return allocated_ - free_.size(); }
+
+  /// Returns freelisted blocks to the heap (outstanding blocks still
+  /// recycle into the pool when released).
+  void shrink() {
+    for (void* b : free_) ::operator delete(b);
+    allocated_ -= free_.size();
+    free_.clear();
+  }
+
+ private:
+  template <typename U>
+  struct Allocator {
+    using value_type = U;
+    Pool* pool;
+
+    explicit Allocator(Pool* p) : pool(p) {}
+    template <typename V>
+    Allocator(const Allocator<V>& o) : pool(o.pool) {}  // NOLINT
+
+    U* allocate(std::size_t n) {
+      return static_cast<U*>(pool->alloc_block(n * sizeof(U)));
+    }
+    void deallocate(U* p, std::size_t n) {
+      pool->free_block(p, n * sizeof(U));
+    }
+    template <typename V>
+    bool operator==(const Allocator<V>& o) const { return pool == o.pool; }
+    template <typename V>
+    bool operator!=(const Allocator<V>& o) const { return pool != o.pool; }
+  };
+
+  void* alloc_block(std::size_t bytes) {
+    if (block_size_ == 0) block_size_ = bytes;
+    // allocate_shared makes exactly one allocation of one node type, so
+    // every request through this pool has the same size.
+    MCK_ASSERT_MSG(bytes == block_size_, "Pool block size changed");
+    if (!free_.empty()) {
+      void* b = free_.back();
+      free_.pop_back();
+      return b;
+    }
+    ++allocated_;
+    return ::operator new(bytes);
+  }
+
+  void free_block(void* p, std::size_t bytes) {
+    (void)bytes;
+    free_.push_back(p);
+  }
+
+  std::size_t block_size_ = 0;
+  std::size_t allocated_ = 0;
+  std::vector<void*> free_;
+};
+
+/// Pool-backed replacement for std::make_shared on high-churn message
+/// payloads: one thread_local pool per payload type. Zero heap traffic in
+/// steady state; safe because each simulation replication runs entirely on
+/// one thread and its payloads die with it (see Pool's ownership rule).
+template <typename T, typename... Args>
+std::shared_ptr<T> make_pooled(Args&&... args) {
+  thread_local Pool<T> pool;
+  return pool.acquire(std::forward<Args>(args)...);
+}
+
+}  // namespace mck::util

@@ -23,13 +23,22 @@ rt::Message make_msg(ProcessId src, ProcessId dst, std::uint64_t bytes,
 // FifoSequencer
 // ---------------------------------------------------------------------
 
+/// Runs `msg` through the sequencer and collects what it releases.
+std::vector<rt::Message> arrive_collect(net::FifoSequencer& fifo,
+                                        rt::Message msg) {
+  std::vector<rt::Message> out;
+  fifo.arrive(std::move(msg),
+              [&out](rt::Message m) { out.push_back(std::move(m)); });
+  return out;
+}
+
 TEST(FifoSequencer, InOrderArrivalsPassThrough) {
   net::FifoSequencer fifo(2);
   rt::Message a = make_msg(0, 1, 10), b = make_msg(0, 1, 10);
   fifo.stamp(a);
   fifo.stamp(b);
-  EXPECT_EQ(fifo.arrive(a).size(), 1u);
-  EXPECT_EQ(fifo.arrive(b).size(), 1u);
+  EXPECT_EQ(arrive_collect(fifo, a).size(), 1u);
+  EXPECT_EQ(arrive_collect(fifo, b).size(), 1u);
 }
 
 TEST(FifoSequencer, OvertakerHeldUntilPredecessor) {
@@ -38,9 +47,9 @@ TEST(FifoSequencer, OvertakerHeldUntilPredecessor) {
   fifo.stamp(a);  // seq 0
   fifo.stamp(b);  // seq 1
   // b arrives first: held back.
-  EXPECT_TRUE(fifo.arrive(b).empty());
+  EXPECT_TRUE(arrive_collect(fifo, b).empty());
   // a arrives: both released, in order.
-  auto out = fifo.arrive(a);
+  auto out = arrive_collect(fifo, a);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].channel_seq, 0u);
   EXPECT_EQ(out[1].channel_seq, 1u);
@@ -57,9 +66,9 @@ TEST(FifoSequencer, ChannelsAreIndependent) {
   EXPECT_EQ(a.channel_seq, 0u);
   EXPECT_EQ(b.channel_seq, 0u);  // different channel, own numbering
   EXPECT_EQ(c.channel_seq, 0u);
-  EXPECT_EQ(fifo.arrive(c).size(), 1u);
-  EXPECT_EQ(fifo.arrive(b).size(), 1u);
-  EXPECT_EQ(fifo.arrive(a).size(), 1u);
+  EXPECT_EQ(arrive_collect(fifo, c).size(), 1u);
+  EXPECT_EQ(arrive_collect(fifo, b).size(), 1u);
+  EXPECT_EQ(arrive_collect(fifo, a).size(), 1u);
 }
 
 TEST(FifoSequencer, LongReorderDrainsCompletely) {
@@ -72,9 +81,9 @@ TEST(FifoSequencer, LongReorderDrainsCompletely) {
   }
   // Arrive in reverse: everything is held until seq 0 shows up.
   for (int i = 9; i >= 1; --i) {
-    EXPECT_TRUE(fifo.arrive(msgs[static_cast<std::size_t>(i)]).empty());
+    EXPECT_TRUE(arrive_collect(fifo, msgs[static_cast<std::size_t>(i)]).empty());
   }
-  auto out = fifo.arrive(msgs[0]);
+  auto out = arrive_collect(fifo, msgs[0]);
   ASSERT_EQ(out.size(), 10u);
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i].channel_seq, i);

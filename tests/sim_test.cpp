@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -143,6 +144,96 @@ TEST(Simulator, CountsExecutedEvents) {
   }
   sim.run_until();
   EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+TEST(Simulator, ValidMeansStillPending) {
+  Simulator sim;
+  EventHandle never;
+  EXPECT_FALSE(never.valid());  // never scheduled
+
+  EventHandle h = sim.schedule_at(seconds(1), [] {});
+  EXPECT_TRUE(h.valid());
+
+  sim.run_until();
+  EXPECT_FALSE(h.valid());  // fired
+
+  EventHandle c = sim.schedule_at(seconds(2), [] {});
+  EXPECT_TRUE(c.valid());
+  c.cancel();
+  EXPECT_FALSE(c.valid());  // cancelled
+  sim.run_until();
+}
+
+TEST(Simulator, ValidGoesStaleWhenSlotIsReused) {
+  Simulator sim;
+  EventHandle first = sim.schedule_at(seconds(1), [] {});
+  sim.run_until();
+  // The next event recycles the freed slot; the old handle must not
+  // resurrect.
+  EventHandle second = sim.schedule_at(seconds(2), [] {});
+  EXPECT_FALSE(first.valid());
+  EXPECT_TRUE(second.valid());
+  int fired = 0;
+  sim.schedule_at(seconds(3), [&] { ++fired; });
+  first.cancel();  // stale: must not cancel the slot's new tenant
+  EXPECT_TRUE(second.valid());
+  sim.run_until();
+  EXPECT_FALSE(second.valid());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, LivePendingExcludesTombstones) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(sim.schedule_at(seconds(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending(), 6u);
+  EXPECT_EQ(sim.live_pending(), 6u);
+  handles[1].cancel();
+  handles[3].cancel();
+  EXPECT_EQ(sim.pending(), 6u);  // tombstones still queued
+  EXPECT_EQ(sim.live_pending(), 4u);
+  sim.run_until();
+  EXPECT_EQ(sim.live_pending(), 0u);
+}
+
+TEST(Simulator, CancelAllDropsEverything) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(sim.schedule_at(seconds(i + 1), [&] { ++fired; }));
+  }
+  handles[0].cancel();  // mix of tombstones and live events
+  sim.cancel_all();
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.live_pending(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  for (const EventHandle& h : handles) EXPECT_FALSE(h.valid());
+  sim.run_until();
+  EXPECT_EQ(fired, 0);
+
+  // The simulator stays usable: slots were freed, not leaked.
+  sim.schedule_at(seconds(100), [&] { ++fired; });
+  sim.run_until();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, SlotPoolRecyclesInsteadOfGrowing) {
+  Simulator sim;
+  // A long self-rescheduling chain keeps exactly one event pending; the
+  // pool must stay at its first chunk instead of growing with the event
+  // count.
+  int remaining = 10000;
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) sim.schedule_after(seconds(1), [&] { tick(); });
+  };
+  sim.schedule_after(seconds(1), [&] { tick(); });
+  sim.run_until();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_LE(sim.slot_count(), 256u);
 }
 
 TEST(Rng, DeterministicPerSeed) {
