@@ -11,6 +11,7 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "obs/round_metrics.hpp"
 #include "stats/table.hpp"
 
 namespace mck::bench {
@@ -41,6 +42,51 @@ inline void apply_wire_flags(int argc, char** argv,
     cfg.sys.timing.record_wire_bytes = true;
   }
   if (has_flag(argc, argv, "--wire-fidelity")) cfg.sys.wire_fidelity = true;
+}
+
+/// `--metrics`: capture a flight-recorder trace per repetition and append
+/// derived columns to every table row. Off by default so the committed
+/// golden outputs are untouched. Call once per config before running.
+inline bool apply_metrics_flag(int argc, char** argv,
+                               harness::ExperimentConfig& cfg) {
+  bool on = has_flag(argc, argv, "--metrics");
+  cfg.capture_trace = cfg.capture_trace || on;
+  return on;
+}
+
+/// Header cells matching trace_metric_cells().
+inline void append_metrics_header(std::vector<std::string>& header) {
+  header.push_back("init->tent (s)");
+  header.push_back("init->commit (s)");
+  header.push_back("useless mutable");
+  header.push_back("trace records");
+}
+
+/// Derived per-row trace columns: mean initiation->first-tentative and
+/// initiation->commit latencies, useless-mutable count, record count.
+inline std::vector<std::string> trace_metric_cells(
+    const harness::RunResult& res) {
+  obs::TraceSummary s = obs::summarize_runs(res.traces);
+  std::vector<obs::RoundMetrics> rounds = obs::derive_rounds_runs(res.traces);
+  double tent_sum = 0.0, commit_sum = 0.0;
+  std::uint64_t tent_n = 0, commit_n = 0;
+  for (const obs::RoundMetrics& r : rounds) {
+    if (r.tentative_latency() >= 0) {
+      tent_sum += sim::to_seconds(r.tentative_latency());
+      ++tent_n;
+    }
+    if (r.commit_latency() >= 0) {
+      commit_sum += sim::to_seconds(r.commit_latency());
+      ++commit_n;
+    }
+  }
+  return {stats::fmt("%.3f", tent_n ? tent_sum / static_cast<double>(tent_n)
+                                    : 0.0),
+          stats::fmt("%.3f",
+                     commit_n ? commit_sum / static_cast<double>(commit_n)
+                              : 0.0),
+          stats::fmt_u("%llu", s.discarded_mutable),
+          stats::fmt_u("%llu", s.total)};
 }
 
 /// "mean +- ci" cell.

@@ -25,9 +25,13 @@ void panel(const char* title, bool quick, int jobs, bool realistic_radio,
   const double rates[] = {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1};
   const int reps = quick ? 2 : 5;
 
-  stats::TextTable table({"rate (msg/s per MH)", "initiations",
-                          "tentative ckpts/init", "redundant mutable/init",
-                          "mutable/tentative %", "output commit delay (s)"});
+  const bool metrics = bench::has_flag(argc, argv, "--metrics");
+  std::vector<std::string> header = {
+      "rate (msg/s per MH)",    "initiations",
+      "tentative ckpts/init",   "redundant mutable/init",
+      "mutable/tentative %",    "output commit delay (s)"};
+  if (metrics) bench::append_metrics_header(header);
+  stats::TextTable table(std::move(header));
 
   for (double rate : rates) {
     harness::ExperimentConfig cfg;
@@ -43,6 +47,7 @@ void panel(const char* title, bool quick, int jobs, bool realistic_radio,
       cfg.sys.lan.loss_probability = 0.10;
     }
     bench::apply_wire_flags(argc, argv, cfg);
+    bench::apply_metrics_flag(argc, argv, cfg);
 
     harness::RunResult res = harness::run_replicated(cfg, reps, jobs);
 
@@ -50,12 +55,19 @@ void panel(const char* title, bool quick, int jobs, bool realistic_radio,
                      ? 100.0 * res.redundant_mutable_per_init.mean() /
                            res.tentative_per_init.mean()
                      : 0.0;
-    table.add_row({bench::num(rate, "%.3f"),
-                   bench::num(static_cast<double>(res.committed), "%.0f"),
-                   bench::mean_ci(res.tentative_per_init),
-                   bench::mean_ci(res.redundant_mutable_per_init),
-                   bench::num(pct, "%.2f"),
-                   bench::mean_ci(res.commit_delay_s)});
+    std::vector<std::string> row = {
+        bench::num(rate, "%.3f"),
+        bench::num(static_cast<double>(res.committed), "%.0f"),
+        bench::mean_ci(res.tentative_per_init),
+        bench::mean_ci(res.redundant_mutable_per_init),
+        bench::num(pct, "%.2f"),
+        bench::mean_ci(res.commit_delay_s)};
+    if (metrics) {
+      for (std::string& c : bench::trace_metric_cells(res)) {
+        row.push_back(std::move(c));
+      }
+    }
+    table.add_row(std::move(row));
   }
   table.print();
 }

@@ -24,9 +24,12 @@ void panel(double ratio, bool quick, int jobs, int argc, char** argv) {
   const double rates[] = {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1};
   const int reps = quick ? 2 : 5;
 
-  stats::TextTable table({"intragroup rate (msg/s)", "initiations",
-                          "tentative ckpts/init", "redundant mutable/init",
-                          "mutable/tentative %"});
+  const bool metrics = bench::has_flag(argc, argv, "--metrics");
+  std::vector<std::string> header = {
+      "intragroup rate (msg/s)", "initiations", "tentative ckpts/init",
+      "redundant mutable/init", "mutable/tentative %"};
+  if (metrics) bench::append_metrics_header(header);
+  stats::TextTable table(std::move(header));
   for (double rate : rates) {
     harness::ExperimentConfig cfg;
     cfg.sys.algorithm = harness::Algorithm::kCaoSinghal;
@@ -39,17 +42,25 @@ void panel(double ratio, bool quick, int jobs, int argc, char** argv) {
     cfg.ckpt_interval = sim::seconds(900);
     cfg.horizon = sim::seconds(quick ? 2 * 3600 : 4 * 3600);
     bench::apply_wire_flags(argc, argv, cfg);
+    bench::apply_metrics_flag(argc, argv, cfg);
 
     harness::RunResult res = harness::run_replicated(cfg, reps, jobs);
     double pct = res.tentative_per_init.mean() > 0
                      ? 100.0 * res.redundant_mutable_per_init.mean() /
                            res.tentative_per_init.mean()
                      : 0.0;
-    table.add_row({bench::num(rate, "%.3f"),
-                   bench::num(static_cast<double>(res.committed), "%.0f"),
-                   bench::mean_ci(res.tentative_per_init),
-                   bench::mean_ci(res.redundant_mutable_per_init),
-                   bench::num(pct, "%.2f")});
+    std::vector<std::string> row = {
+        bench::num(rate, "%.3f"),
+        bench::num(static_cast<double>(res.committed), "%.0f"),
+        bench::mean_ci(res.tentative_per_init),
+        bench::mean_ci(res.redundant_mutable_per_init),
+        bench::num(pct, "%.2f")};
+    if (metrics) {
+      for (std::string& c : bench::trace_metric_cells(res)) {
+        row.push_back(std::move(c));
+      }
+    }
+    table.add_row(std::move(row));
   }
   table.print();
 }

@@ -53,12 +53,16 @@ int main(int argc, char** argv) {
                   rate);
     bench::banner(title);
 
-    stats::TextTable table({"algorithm", "ckpts/init (measured | paper)",
-                            "blocked process-s/init (measured | paper)",
-                            "output commit s (measured | paper)",
-                            "T_msg ms / T_data s",
-                            "sys msgs/init (measured | paper)",
-                            "distributed"});
+    const bool metrics = bench::has_flag(argc, argv, "--metrics");
+    std::vector<std::string> header = {
+        "algorithm", "ckpts/init (measured | paper)",
+        "blocked process-s/init (measured | paper)",
+        "output commit s (measured | paper)",
+        "T_msg ms / T_data s",
+        "sys msgs/init (measured | paper)",
+        "distributed"};
+    if (metrics) bench::append_metrics_header(header);
+    stats::TextTable table(std::move(header));
 
     for (const Row& row : rows) {
       harness::ExperimentConfig cfg;
@@ -69,20 +73,27 @@ int main(int argc, char** argv) {
       cfg.ckpt_interval = sim::seconds(900);
       cfg.horizon = sim::seconds(quick ? 2 * 3600 : 4 * 3600);
       bench::apply_wire_flags(argc, argv, cfg);
+      bench::apply_metrics_flag(argc, argv, cfg);
       harness::RunResult res =
           harness::run_replicated(cfg, quick ? 2 : 4, jobs);
 
-      table.add_row(
-          {row.name,
-           bench::mean_ci(res.tentative_per_init) + "  | " +
-               row.analytic_ckpts,
-           bench::mean_ci(res.blocked_s_per_init) + "  | " +
-               row.analytic_block,
-           bench::mean_ci(res.commit_delay_s) + "  | " + row.analytic_commit,
-           bench::num(res.t_msg_s.mean() * 1000.0, "%.2f") + " / " +
-               bench::num(res.t_data_s.mean(), "%.2f"),
-           bench::mean_ci(res.sys_msgs_per_init) + "  | " + row.analytic_msgs,
-           row.distributed});
+      std::vector<std::string> cells = {
+          row.name,
+          bench::mean_ci(res.tentative_per_init) + "  | " +
+              row.analytic_ckpts,
+          bench::mean_ci(res.blocked_s_per_init) + "  | " +
+              row.analytic_block,
+          bench::mean_ci(res.commit_delay_s) + "  | " + row.analytic_commit,
+          bench::num(res.t_msg_s.mean() * 1000.0, "%.2f") + " / " +
+              bench::num(res.t_data_s.mean(), "%.2f"),
+          bench::mean_ci(res.sys_msgs_per_init) + "  | " + row.analytic_msgs,
+          row.distributed};
+      if (metrics) {
+        for (std::string& c : bench::trace_metric_cells(res)) {
+          cells.push_back(std::move(c));
+        }
+      }
+      table.add_row(std::move(cells));
     }
     table.print();
   }

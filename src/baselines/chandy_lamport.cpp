@@ -70,7 +70,7 @@ void ChandyLamportProtocol::maybe_commit() {
   if (init_ == 0 || ckpt::initiation_pid(init_) != self()) return;
   if (awaiting_done_ > 0 || !done_sent_) return;
   ckpt::InitiationStats& st = ctx_.tracker->at(init_);
-  st.committed_at = ctx_.sim->now();
+  ctx_.tracker->mark_committed(st, ctx_.sim->now());
   auto cm = util::make_pooled<ClCommit>();
   cm->initiation = init_;
   broadcast_system(rt::MsgKind::kCommit, cm);

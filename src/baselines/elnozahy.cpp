@@ -36,7 +36,7 @@ void ElnozahyProtocol::take_checkpoint(Csn new_csn, ckpt::InitiationId init) {
       transfer_done_ = true;
       if (awaiting_replies_ == 0) {
         // Degenerate single-process case.
-        ctx_.tracker->at(init).committed_at = ctx_.sim->now();
+        ctx_.tracker->mark_committed(ctx_.tracker->at(init), ctx_.sim->now());
       }
     } else {
       auto rp = util::make_pooled<EjReply>();
@@ -90,7 +90,7 @@ void ElnozahyProtocol::handle_system(const rt::Message& m) {
       MCK_ASSERT(awaiting_replies_ > 0);
       if (--awaiting_replies_ == 0 && transfer_done_) {
         ckpt::InitiationStats& st = ctx_.tracker->at(p->initiation);
-        st.committed_at = ctx_.sim->now();
+        ctx_.tracker->mark_committed(st, ctx_.sim->now());
         auto cm = util::make_pooled<EjCommit>();
         cm->initiation = p->initiation;
         broadcast_system(rt::MsgKind::kCommit, cm);

@@ -99,7 +99,7 @@ void KooTouegProtocol::maybe_reply() {
   c.reply_sent = true;
   if (c.parent == kInvalidProcess) {
     // We are the initiator: phase 2 — commit down the tree.
-    stats_of(c.initiation).committed_at = ctx_.sim->now();
+    ctx_.tracker->mark_committed(stats_of(c.initiation), ctx_.sim->now());
     finish_commit(c.initiation);
   } else {
     auto rp = util::make_pooled<KtReply>();

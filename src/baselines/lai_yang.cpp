@@ -48,7 +48,7 @@ void LaiYangProtocol::maybe_commit(ckpt::InitiationId init) {
     return;
   }
   ckpt::InitiationStats& st = ctx_.tracker->at(init);
-  st.committed_at = ctx_.sim->now();
+  ctx_.tracker->mark_committed(st, ctx_.sim->now());
   auto cm = util::make_pooled<LyCommit>();
   cm->initiation = init;
   broadcast_system(rt::MsgKind::kCommit, cm);

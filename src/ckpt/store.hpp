@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ckpt/event_log.hpp"
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 #include "util/assert.hpp"
 #include "util/types.hpp"
@@ -27,6 +28,12 @@ enum class CkptKind : std::uint8_t {
   kMutable,
   kDisconnect,
 };
+
+// obs/round_metrics.cpp mirrors these discriminators (the trace stores
+// them as raw bytes) to avoid an obs -> ckpt dependency cycle.
+static_assert(static_cast<int>(CkptKind::kTentative) == 2 &&
+                  static_cast<int>(CkptKind::kMutable) == 3,
+              "update the mirror constants in obs/round_metrics.cpp");
 
 inline const char* to_string(CkptKind k) {
   switch (k) {
@@ -89,6 +96,11 @@ class CheckpointStore {
 
   int num_processes() const { return static_cast<int>(by_process_.size()); }
 
+  /// Attaches a flight recorder (null = off): every take / promote /
+  /// make_permanent / discard is traced, which covers the checkpoint
+  /// lifecycle of all eight protocols from one place.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   CkptRef take(ProcessId pid, CkptKind kind, Csn csn, InitiationId initiation,
                std::uint64_t event_cursor, sim::SimTime at) {
     CheckpointRecord rec;
@@ -99,6 +111,11 @@ class CheckpointStore {
     rec.event_cursor = event_cursor;
     rec.taken_at = at;
     CkptRef ref = intern(rec);
+    if (tracer_ != nullptr) {
+      tracer_->record(obs::TraceKind::kCkptTaken, at, pid,
+                      static_cast<std::uint8_t>(kind), 0, initiation,
+                      (static_cast<std::uint64_t>(ref) << 32) | csn);
+    }
     if (kind == CkptKind::kTentative) note_occupancy(pid, at);
     return ref;
   }
@@ -115,10 +132,13 @@ class CheckpointStore {
     MCK_ASSERT(rec.kind == CkptKind::kMutable ||
                rec.kind == CkptKind::kDisconnect);
     MCK_ASSERT(!rec.discarded);
+    if (tracer_ != nullptr) {
+      tracer_->record(obs::TraceKind::kCkptPromoted, at, rec.pid,
+                      static_cast<std::uint8_t>(rec.kind), 0, initiation, ref);
+    }
     rec.kind = CkptKind::kTentative;
     rec.initiation = initiation;
     rec.finalized_at = at;  // provisional; overwritten on make_permanent
-    (void)at;
   }
 
   void make_permanent(CkptRef ref, sim::SimTime at) {
@@ -127,6 +147,10 @@ class CheckpointStore {
     MCK_ASSERT(!rec.discarded);
     rec.kind = CkptKind::kPermanent;
     rec.finalized_at = at;
+    if (tracer_ != nullptr) {
+      tracer_->record(obs::TraceKind::kCkptPermanent, at, rec.pid, 0, 0,
+                      rec.initiation, ref);
+    }
     if (auto_gc_) garbage_collect(rec.pid, ref, at);
     note_occupancy(rec.pid, at);
   }
@@ -164,6 +188,13 @@ class CheckpointStore {
     CheckpointRecord& rec = mut(ref);
     MCK_ASSERT(rec.kind != CkptKind::kPermanent);
     rec.discarded = true;
+    if (tracer_ != nullptr) {
+      // discard() has no time parameter; the tracer's last stamped time is
+      // the current event's time (monotone), so the record stays ordered.
+      tracer_->record(obs::TraceKind::kCkptDiscarded, tracer_->last_at(),
+                      rec.pid, static_cast<std::uint8_t>(rec.kind), 0,
+                      rec.initiation, ref);
+    }
   }
 
   const std::vector<CkptRef>& of_process(ProcessId pid) const {
@@ -247,6 +278,7 @@ class CheckpointStore {
   std::vector<std::vector<CkptRef>> by_process_;
   std::size_t peak_occupancy_ = 0;
   bool auto_gc_ = false;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mck::ckpt

@@ -68,6 +68,10 @@ struct InitiationStats {
 
 class CoordinationTracker {
  public:
+  /// Attaches a flight recorder (null = off): initiation start, commit
+  /// and abort are traced here, one place for all eight protocols.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   InitiationStats& open(InitiationId id, ProcessId initiator,
                         sim::SimTime now) {
     InitiationStats& s = map_[id];
@@ -76,8 +80,30 @@ class CoordinationTracker {
       s.initiator = initiator;
       s.started_at = now;
       order_.push_back(id);
+      if (tracer_ != nullptr) {
+        tracer_->record(obs::TraceKind::kInitStart, now, initiator, 0, 0, id,
+                        0);
+      }
     }
     return s;
+  }
+
+  /// The initiator's commit decision. Protocols must use this (not write
+  /// committed_at directly) so the decision lands in the trace.
+  void mark_committed(InitiationStats& s, sim::SimTime now) {
+    s.committed_at = now;
+    if (tracer_ != nullptr) {
+      tracer_->record(obs::TraceKind::kRoundCommit, now, s.initiator, 0, 0,
+                      s.id, static_cast<std::uint64_t>(now - s.started_at));
+    }
+  }
+
+  void mark_aborted(InitiationStats& s, sim::SimTime now) {
+    s.aborted_at = now;
+    if (tracer_ != nullptr) {
+      tracer_->record(obs::TraceKind::kRoundAbort, now, s.initiator, 0, 0,
+                      s.id, static_cast<std::uint64_t>(now - s.started_at));
+    }
   }
 
   /// Initiation must already exist (a participant reports into it).
@@ -113,6 +139,7 @@ class CoordinationTracker {
  private:
   std::map<InitiationId, InitiationStats> map_;
   std::vector<InitiationId> order_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mck::ckpt

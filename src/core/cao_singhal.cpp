@@ -1,6 +1,7 @@
 #include "core/cao_singhal.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/assert.hpp"
 #include "util/pool.hpp"
@@ -10,6 +11,17 @@ namespace mck::core {
 
 using util::BitVec;
 using util::Weight;
+
+namespace {
+
+/// Weights go into the trace as the bit pattern of their double
+/// approximation (exact for the depths the protocol reaches; mcktrace
+/// formats it back as a double).
+std::uint64_t weight_bits(const Weight& w) {
+  return std::bit_cast<std::uint64_t>(w.to_double());
+}
+
+}  // namespace
 
 CaoSinghalProtocol::CaoSinghalProtocol(CaoSinghalOptions opts)
     : opts_(opts) {}
@@ -229,6 +241,11 @@ Weight CaoSinghalProtocol::prop_cp(const BitVec& deps,
     }
 
     weight.halve();
+    if (ctx_.tracer != nullptr) {
+      ctx_.tracer->record(obs::TraceKind::kWeightSplit, ctx_.sim->now(),
+                          self(), 0, static_cast<std::uint16_t>(k),
+                          trigger.initiation(), weight_bits(weight));
+    }
     auto rp = util::make_pooled<RequestPayload>();
     rp->mr = temp;
     rp->sender_csn = csn_[static_cast<std::size_t>(self())];
@@ -410,6 +427,11 @@ void CaoSinghalProtocol::bank_local_weight(const Trigger& t, Weight w) {
   if (!active_initiator_ || own_trigger_ != t) return;  // aborted meanwhile
   acc_weight_.add(w);
   self_weight_banked_ = self_weight_banked_ || true;
+  if (ctx_.tracer != nullptr) {
+    ctx_.tracer->record(obs::TraceKind::kWeightReturn, ctx_.sim->now(),
+                        self(), 0, static_cast<std::uint16_t>(self()),
+                        t.initiation(), weight_bits(acc_weight_));
+  }
   initiator_decide_commit();
 }
 
@@ -430,6 +452,11 @@ void CaoSinghalProtocol::handle_reply(const rt::Message& m,
     replier_deps_.emplace_back(m.src, p.deps);
   }
   acc_weight_.add(p.weight);
+  if (ctx_.tracer != nullptr) {
+    ctx_.tracer->record(obs::TraceKind::kWeightReturn, ctx_.sim->now(),
+                        self(), 0, static_cast<std::uint16_t>(m.src),
+                        own_trigger_.initiation(), weight_bits(acc_weight_));
+  }
   if (std::find(repliers_.begin(), repliers_.end(), m.src) ==
       repliers_.end()) {
     repliers_.push_back(m.src);
@@ -479,7 +506,7 @@ void CaoSinghalProtocol::initiator_decide_commit() {
     st.partial_commit = true;
   }
 
-  st.committed_at = ctx_.sim->now();
+  ctx_.tracker->mark_committed(st, ctx_.sim->now());
   MCK_TRACE("[t=%.3fms] P%d COMMITS %s%s (%u tentative, %u mutable, %u redundant)",
             sim::to_milliseconds(ctx_.sim->now()), self(),
             t.to_string().c_str(), st.partial_commit ? " (partial)" : "",
@@ -526,7 +553,7 @@ void CaoSinghalProtocol::initiator_abort() {
   observed_failures_.clear();
 
   ckpt::InitiationStats& st = init_stats(t);
-  st.aborted_at = ctx_.sim->now();
+  ctx_.tracker->mark_aborted(st, ctx_.sim->now());
   auto ap = util::make_pooled<AbortPayload>();
   ap->trigger = t;
   broadcast_system(rt::MsgKind::kAbort, ap);

@@ -29,6 +29,7 @@ void RunResult::merge(const RunResult& o) {
   consistent = consistent && o.consistent;
   orphans += o.orphans;
   lines_checked += o.lines_checked;
+  for (const obs::TraceRun& t : o.traces) traces.push_back(t);
 
   for (int k = 0; k < rt::kMsgKindCount; ++k) {
     stats.msgs_sent[k] += o.stats.msgs_sent[k];
@@ -63,7 +64,15 @@ void RunResult::merge(const RunResult& o) {
 }
 
 RunResult run_experiment(const ExperimentConfig& config) {
-  System system(config.sys);
+  // The tracer lives on this frame: one per repetition, so replications
+  // never share a buffer and the trace is identical for any job count.
+  obs::Tracer tracer;
+  SystemOptions sys_opts = config.sys;
+  if (config.capture_trace) {
+    tracer.enable(config.trace_mask);
+    sys_opts.tracer = &tracer;
+  }
+  System system(sys_opts);
 
   // Workload.
   workload::SendFn send = [&system](ProcessId src, ProcessId dst) {
@@ -136,6 +145,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
     MCK_ASSERT_MSG(check.consistent,
                    "committed global checkpoint line has orphan messages");
   }
+
+  if (config.capture_trace) {
+    obs::TraceRun run;
+    run.rep = 0;  // re-stamped by run_replicated
+    run.seed = sys_opts.seed;
+    run.records = tracer.take_records();
+    result.traces.push_back(std::move(run));
+  }
   return result;
 }
 
@@ -203,6 +220,9 @@ RunResult run_replicated(ExperimentConfig config, int reps, int jobs) {
 
   RunResult total;
   for (const RunResult& one : results) total.merge(one);
+  for (std::size_t i = 0; i < total.traces.size(); ++i) {
+    total.traces[i].rep = static_cast<int>(i);
+  }
   return total;
 }
 

@@ -7,6 +7,7 @@
 
 #include "harness/scheduler.hpp"
 #include "harness/system.hpp"
+#include "obs/trace_io.hpp"
 #include "stats/welford.hpp"
 
 namespace mck::harness {
@@ -24,6 +25,12 @@ struct ExperimentConfig {
   sim::SimTime ckpt_interval = sim::seconds(900);
   sim::SimTime horizon = sim::seconds(4 * 3600);
   bool serialize_initiations = true;
+
+  /// Flight-recorder capture: each repetition records into its own
+  /// obs::Tracer and lands in RunResult::traces. Deterministic — the trace
+  /// bytes depend only on (config, seed), never on the job count.
+  bool capture_trace = false;
+  std::uint64_t trace_mask = obs::Tracer::kAllKinds;
 };
 
 struct RunResult {
@@ -51,6 +58,10 @@ struct RunResult {
   bool consistent = true;
   std::size_t orphans = 0;
   std::size_t lines_checked = 0;
+
+  /// One entry per repetition when ExperimentConfig::capture_trace is set
+  /// (in rep-index order after run_replicated), empty otherwise.
+  std::vector<obs::TraceRun> traces;
 
   /// Merges another repetition (different seed) into this aggregate.
   void merge(const RunResult& o);

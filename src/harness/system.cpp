@@ -43,12 +43,20 @@ System::System(SystemOptions opts)
   // uncoordinated ones must hoard them for the rollback search.
   store_.set_auto_gc(has_committed_lines(opts_.algorithm));
 
+  if (opts_.tracer != nullptr) {
+    sim_.set_tracer(opts_.tracer);
+    store_.set_tracer(opts_.tracer);
+    tracker_.set_tracer(opts_.tracer);
+  }
+
   if (opts_.transport == TransportKind::kLan) {
     lan_ = std::make_unique<net::LanTransport>(sim_, opts_.num_processes,
                                                opts_.lan, &rng_);
+    lan_->set_tracer(opts_.tracer);
   } else {
     cell_ = std::make_unique<mobile::CellularTransport>(
         sim_, opts_.num_processes, opts_.cellular);
+    cell_->set_tracer(opts_.tracer);
   }
   if (opts_.wire_fidelity) {
     transport().set_wire_fidelity(core::universal_codec());
@@ -97,6 +105,7 @@ System::System(SystemOptions opts)
     ctx.stats = &stats_;
     ctx.timing = &opts_.timing;
     ctx.codec = core::universal_codec();
+    ctx.tracer = opts_.tracer;
     proto->bind(ctx);
     protos_.push_back(std::move(proto));
   }

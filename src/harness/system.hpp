@@ -21,6 +21,7 @@
 #include "core/cao_singhal.hpp"
 #include "mobile/cellular.hpp"
 #include "net/lan.hpp"
+#include "obs/trace.hpp"
 #include "rt/protocol.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -61,6 +62,11 @@ struct SystemOptions {
   /// codec gaps surface as test failures instead of silent divergence.
   /// Off by default; a lossless codec makes results identical either way.
   bool wire_fidelity = false;
+
+  /// Flight recorder (DESIGN.md "Flight recorder"). When non-null, every
+  /// layer — simulator, transport, store, tracker, protocols — records
+  /// into it. Null keeps the hot path at a single untaken branch per site.
+  obs::Tracer* tracer = nullptr;
 };
 
 class System {

@@ -81,6 +81,11 @@ void CellularTransport::arrive(rt::Message msg, MssId routed_to) {
     // The MH moved while the message was in flight: the old MSS forwards
     // it to the new one (the rerouting cost of Section 1).
     ++forwarded_;
+    if (tracer_ != nullptr) {
+      tracer_->record(obs::TraceKind::kMsgForwarded, sim_.now(), dst,
+                      static_cast<std::uint8_t>(msg.kind),
+                      static_cast<std::uint16_t>(cur), msg.id, routed_to);
+    }
     sim::SimTime at = sim_.now() + params_.forward_penalty +
                       params_.wired_latency + wired_tx(msg.size_bytes) +
                       wireless_tx(msg.size_bytes);
@@ -96,6 +101,13 @@ void CellularTransport::arrive(rt::Message msg, MssId routed_to) {
     if (is_disconnected(m.dst) && m.kind == rt::MsgKind::kComputation) {
       // Buffered at the MSS until reconnection (Section 2.2).
       ++buffered_total_;
+      if (tracer_ != nullptr) {
+        tracer_->record(obs::TraceKind::kMsgBuffered, sim_.now(), m.dst,
+                        static_cast<std::uint8_t>(m.kind),
+                        static_cast<std::uint16_t>(
+                            mss_of_[static_cast<std::size_t>(m.dst)]),
+                        m.id, 0);
+      }
       buffer_[static_cast<std::size_t>(m.dst)].push_back(std::move(m));
     } else {
       hand_to_process(std::move(m));
@@ -134,13 +146,25 @@ void CellularTransport::handoff(ProcessId pid, MssId to) {
   MCK_ASSERT(to >= 0 && to < params_.num_mss);
   MCK_ASSERT_MSG(!is_disconnected(pid), "handoff while disconnected");
   if (mss_of_[static_cast<std::size_t>(pid)] == to) return;
+  MssId from = mss_of_[static_cast<std::size_t>(pid)];
   mss_of_[static_cast<std::size_t>(pid)] = to;
   ++handoffs_;
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceKind::kHandoff, sim_.now(), pid, 0, 0,
+                    static_cast<std::uint64_t>(from),
+                    static_cast<std::uint64_t>(to));
+  }
 }
 
 void CellularTransport::disconnect(ProcessId pid) {
   MCK_ASSERT(!is_disconnected(pid));
   disconnected_[static_cast<std::size_t>(pid)] = 1;
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceKind::kDisconnect, sim_.now(), pid, 0, 0,
+                    static_cast<std::uint64_t>(
+                        mss_of_[static_cast<std::size_t>(pid)]),
+                    0);
+  }
 }
 
 void CellularTransport::reconnect(ProcessId pid, MssId at) {
@@ -148,6 +172,11 @@ void CellularTransport::reconnect(ProcessId pid, MssId at) {
   MCK_ASSERT(at >= 0 && at < params_.num_mss);
   disconnected_[static_cast<std::size_t>(pid)] = 0;
   mss_of_[static_cast<std::size_t>(pid)] = at;
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceKind::kReconnect, sim_.now(), pid, 0, 0,
+                    static_cast<std::uint64_t>(at),
+                    buffer_[static_cast<std::size_t>(pid)].size());
+  }
   // The old MSS transfers the support information (buffered messages) to
   // the new MSS, which forwards them to the MH, in order.
   std::deque<rt::Message> pending;

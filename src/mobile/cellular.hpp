@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/fifo.hpp"
+#include "obs/trace.hpp"
 #include "rt/transport.hpp"
 #include "sim/simulator.hpp"
 #include "util/types.hpp"
@@ -79,6 +80,8 @@ class CellularTransport final : public rt::Transport {
   std::uint64_t messages_buffered() const { return buffered_total_; }
   std::uint64_t handoffs() const { return handoffs_; }
 
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   sim::SimTime wireless_tx(std::uint64_t bytes) const;
   sim::SimTime wired_tx(std::uint64_t bytes) const;
@@ -89,6 +92,7 @@ class CellularTransport final : public rt::Transport {
 
   sim::Simulator& sim_;
   CellularParams params_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<rt::DeliverFn> sinks_;
   std::vector<MssId> mss_of_;
   std::vector<std::uint8_t> disconnected_;

@@ -18,12 +18,19 @@ LanTransport::LanTransport(sim::Simulator& sim, int num_processes,
   MCK_ASSERT(params_.loss_probability < 1.0);
 }
 
-sim::SimTime LanTransport::retry_jitter(std::uint64_t bytes) {
+sim::SimTime LanTransport::retry_jitter(const rt::Message& msg) {
   if (params_.loss_probability <= 0.0) return 0;
   sim::SimTime extra = 0;
+  std::uint64_t retries = 0;
   while (rng_->bernoulli(params_.loss_probability)) {
     ++retransmissions_;
-    extra += tx_time(bytes) + params_.retry_backoff;
+    ++retries;
+    extra += tx_time(msg.size_bytes) + params_.retry_backoff;
+  }
+  if (retries > 0 && tracer_ != nullptr) {
+    tracer_->record(obs::TraceKind::kMsgRetry, sim_.now(), msg.src,
+                    static_cast<std::uint8_t>(msg.kind),
+                    static_cast<std::uint16_t>(msg.dst), msg.id, retries);
   }
   return extra;
 }
@@ -101,7 +108,7 @@ void LanTransport::send(rt::Message msg) {
   } else {
     arrive = sim_.now() + tx_time(msg.size_bytes) + params_.propagation_delay;
   }
-  arrive += retry_jitter(msg.size_bytes);
+  arrive += retry_jitter(msg);
   deliver_at(arrive, std::move(msg));
 }
 

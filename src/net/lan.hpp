@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/fifo.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "rt/transport.hpp"
 #include "sim/simulator.hpp"
@@ -73,16 +74,19 @@ class LanTransport final : public rt::Transport {
   std::uint64_t retransmissions() const { return retransmissions_; }
   sim::SimTime medium_busy_until() const { return medium_free_at_; }
 
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   sim::SimTime reserve_medium(std::uint64_t bytes);
   void deliver_at(sim::SimTime at, rt::Message msg);
   void arrive(rt::Message msg);
   /// Extra delay from link-layer retransmissions (0 when error-free).
-  sim::SimTime retry_jitter(std::uint64_t bytes);
+  sim::SimTime retry_jitter(const rt::Message& msg);
 
   sim::Simulator& sim_;
   LanParams params_;
   sim::Rng* rng_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<rt::DeliverFn> sinks_;
   std::vector<std::uint8_t> failed_;
   FifoSequencer fifo_;

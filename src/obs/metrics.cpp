@@ -1,0 +1,79 @@
+#include "obs/metrics.hpp"
+
+#include "stats/table.hpp"
+#include "util/assert.hpp"
+
+namespace mck::obs {
+
+Registry::Entry* Registry::find(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  if (Entry* e = find(name)) {
+    MCK_ASSERT(e->kind == Entry::Kind::kCounter);
+    return e->counter;
+  }
+  entries_.push_back(Entry{Entry::Kind::kCounter, name, {}, {}, {}});
+  return entries_.back().counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  if (Entry* e = find(name)) {
+    MCK_ASSERT(e->kind == Entry::Kind::kGauge);
+    return e->gauge;
+  }
+  entries_.push_back(Entry{Entry::Kind::kGauge, name, {}, {}, {}});
+  return entries_.back().gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  if (Entry* e = find(name)) {
+    MCK_ASSERT(e->kind == Entry::Kind::kHistogram);
+    return e->histogram.front();
+  }
+  entries_.push_back(Entry{Entry::Kind::kHistogram, name, {}, {}, {}});
+  entries_.back().histogram.emplace_back(std::move(bounds));
+  return entries_.back().histogram.front();
+}
+
+std::string Registry::render() const {
+  stats::TextTable table({"metric", "value"});
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        table.add_row({e.name, stats::fmt_u("%llu", e.counter.value())});
+        break;
+      case Entry::Kind::kGauge:
+        table.add_row({e.name, stats::fmt("%.4f", e.gauge.value())});
+        break;
+      case Entry::Kind::kHistogram: {
+        const Histogram& h = e.histogram.front();
+        table.add_row(
+            {e.name,
+             stats::fmt_u("%llu", h.count()) + " obs, mean " +
+                 stats::fmt("%.4f", h.mean()) + " [" +
+                 stats::fmt("%.4f", h.min()) + ", " +
+                 stats::fmt("%.4f", h.max()) + "]"});
+        for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+          std::string label =
+              i < h.bounds().size()
+                  ? "  <= " + stats::fmt("%g", h.bounds()[i])
+                  : std::string("  > ") +
+                        (h.bounds().empty()
+                             ? "all"
+                             : stats::fmt("%g", h.bounds().back()));
+          table.add_row({e.name + label, stats::fmt_u("%llu", h.bucket(i))});
+        }
+        break;
+      }
+    }
+  }
+  return table.render();
+}
+
+}  // namespace mck::obs

@@ -1,0 +1,102 @@
+// Derived metrics over a recorded trace: whole-run tallies per record
+// kind (TraceSummary) and the per-checkpoint-round latency breakdown
+// (RoundMetrics) the paper's survey comparisons are phrased in —
+// initiation -> first tentative -> commit, blocking time per process,
+// weight-termination latency, useless-mutable counts.
+//
+// Everything here is recomputed from TraceRecords alone, which is what
+// lets tests cross-check the trace against rt::RunStats: two independent
+// accounting paths must agree.
+#pragma once
+
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
+
+namespace mck::obs {
+
+/// Whole-run tallies, accumulated record by record.
+struct TraceSummary {
+  std::uint64_t total = 0;
+  std::uint64_t by_kind[kTraceKindCount] = {};
+  /// kMsgSend records by their MsgKind discriminator (sub field).
+  std::uint64_t msgs_sent_by_kind[16] = {};
+  /// kCkptTaken records by their CkptKind discriminator.
+  std::uint64_t ckpt_taken_by_kind[8] = {};
+  std::uint64_t rounds_started = 0;
+  std::uint64_t rounds_committed = 0;
+  std::uint64_t rounds_aborted = 0;
+  std::uint64_t promoted = 0;
+  std::uint64_t discarded_mutable = 0;  // kCkptDiscarded with sub==kMutable
+  std::uint64_t permanent = 0;
+  /// Sum of kUnblock durations; kBlock/kUnblock pair up per process.
+  sim::SimTime blocked_total = 0;
+  std::vector<sim::SimTime> blocked_by_pid;
+  std::uint64_t handoffs = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t buffered = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t weight_splits = 0;
+  std::uint64_t weight_returns = 0;
+  std::uint64_t events_fired = 0;
+  std::uint64_t events_cancelled = 0;
+};
+
+/// One checkpointing round (initiation), reassembled from its records.
+struct RoundMetrics {
+  std::uint64_t initiation = 0;
+  std::int32_t initiator = -1;
+  sim::SimTime started_at = -1;
+  sim::SimTime first_tentative_at = -1;
+  sim::SimTime last_tentative_at = -1;
+  sim::SimTime committed_at = -1;
+  sim::SimTime aborted_at = -1;
+  std::uint32_t tentative = 0;   // fresh tentative checkpoints (not promoted)
+  std::uint32_t mutables = 0;
+  std::uint32_t promoted = 0;
+  std::uint32_t discarded = 0;   // useless mutable checkpoints
+  std::uint32_t weight_splits = 0;
+
+  bool committed() const { return committed_at >= 0; }
+  /// Initiation -> first stable checkpoint of the round.
+  sim::SimTime tentative_latency() const {
+    return first_tentative_at < 0 || started_at < 0
+               ? -1
+               : first_tentative_at - started_at;
+  }
+  /// Initiation -> initiator's commit decision (for the weight-based
+  /// protocol this is exactly the weight-termination latency: the commit
+  /// fires when the accumulated weight reaches one).
+  sim::SimTime commit_latency() const {
+    return !committed() || started_at < 0 ? -1 : committed_at - started_at;
+  }
+};
+
+/// Folds `records` into `s` (call once per run; the tallies concatenate).
+void accumulate(TraceSummary& s, const std::vector<TraceRecord>& records);
+
+inline TraceSummary summarize(const std::vector<TraceRecord>& records) {
+  TraceSummary s;
+  accumulate(s, records);
+  return s;
+}
+
+/// Reassembles the rounds of ONE run, in initiation-start order. Run
+/// separately per replication — initiation ids (pid, inum) repeat across
+/// independent runs.
+std::vector<RoundMetrics> derive_rounds(const std::vector<TraceRecord>& records);
+
+/// Summary + rounds over every run of a trace file's worth of runs.
+TraceSummary summarize_runs(const std::vector<TraceRun>& runs);
+std::vector<RoundMetrics> derive_rounds_runs(const std::vector<TraceRun>& runs);
+
+/// Builds the --metrics registry: whole-run counters plus the per-round
+/// latency histograms (seconds).
+Registry build_registry(const TraceSummary& s,
+                        const std::vector<RoundMetrics>& rounds);
+
+}  // namespace mck::obs

@@ -1,0 +1,202 @@
+// Deterministic flight recorder: typed trace records appended through a
+// Tracer facade.
+//
+// Invariants (see DESIGN.md "Flight recorder"):
+//  * Zero overhead when off. Every instrumentation site is guarded by a
+//    single null-pointer (or mask-bit) test on a value that never changes
+//    during a run — no record is built, no branch beyond the test, and
+//    the steady state stays allocation-free (tests/hotpath_alloc_test).
+//  * Deterministic output. Records carry *simulation* time only and are
+//    appended in event-execution order; each replication owns a private
+//    Tracer and the harness concatenates per-rep buffers in rep-index
+//    order, so a trace file is byte-identical for any --jobs count.
+//  * No allocation in steady state. Records land in chunked bump-pointer
+//    buffers; a chunk allocation every kChunkRecords records is the only
+//    cold spot, and chunk addresses are stable (no reallocation).
+//
+// This header is intentionally dependency-light (sim/time.hpp and
+// util/types.hpp only, both header-only) so the simulator and the
+// checkpoint substrate can include it without a library cycle; file I/O
+// and derived metrics live in the mck_obs library (trace_io.hpp,
+// round_metrics.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/types.hpp"
+
+namespace mck::obs {
+
+/// Every instrumentation point in the tree. The `sub`/`aux`/`arg` fields
+/// of a TraceRecord are kind-specific; the conventions are documented per
+/// enumerator and implemented once in mcktrace's dump formatter.
+enum class TraceKind : std::uint8_t {
+  // ---- simulator -----------------------------------------------------
+  kEventFire = 0,   // pid=-1  arg0=seq  arg1=slot
+  kEventCancel,     // pid=-1  arg0=slot arg1=generation
+  kQueueDepth,      // pid=-1  arg0=live pending  arg1=heap size (sampled)
+  // ---- message path (protocol base + transports) ---------------------
+  kMsgSend,         // sub=MsgKind  aux=dst (kBroadcastDst)  arg0=id  arg1=bytes
+  kMsgDeliver,      // sub=MsgKind  aux=src  arg0=id  arg1=bytes
+  kMsgRetry,        // lan link-layer retransmission: aux=dst  arg0=id  arg1=#retries
+  kMsgBuffered,     // MSS buffers for a disconnected MH: sub=MsgKind  arg0=id
+  kMsgForwarded,    // handoff reroute: aux=forwarding MSS  arg0=id
+  // ---- mobility ------------------------------------------------------
+  kHandoff,         // arg0=from MSS  arg1=to MSS
+  kDisconnect,      // voluntary disconnection of pid
+  kReconnect,       // arg0=MSS reconnected at
+  // ---- blocking ------------------------------------------------------
+  kBlock,           // pid suspends its computation
+  kUnblock,         // arg0=blocked duration (ns)
+  // ---- checkpoint rounds ---------------------------------------------
+  kInitStart,       // pid=initiator  arg0=initiation id
+  kRoundCommit,     // pid=initiator  arg0=initiation id  arg1=latency (ns)
+  kRoundAbort,      // pid=initiator  arg0=initiation id  arg1=latency (ns)
+  // ---- checkpoint lifecycle (CheckpointStore) ------------------------
+  kCkptTaken,       // sub=CkptKind  arg0=initiation  arg1=(ref<<32)|csn
+  kCkptPromoted,    // mutable/disconnect -> tentative: sub=old CkptKind
+                    //   arg0=initiation  arg1=ref
+  kCkptPermanent,   // arg0=initiation  arg1=ref
+  kCkptDiscarded,   // sub=CkptKind  arg0=initiation  arg1=ref
+  // ---- weight-based termination (Section 3.3.4) ----------------------
+  kWeightSplit,     // aux=dst of the request  arg0=initiation
+                    //   arg1=bit pattern of the sent weight (double)
+  kWeightReturn,    // pid=initiator  aux=replier  arg0=initiation
+                    //   arg1=bit pattern of the accumulated weight (double)
+  kCount
+};
+
+inline constexpr int kTraceKindCount = static_cast<int>(TraceKind::kCount);
+static_assert(kTraceKindCount <= 64, "kind mask is a 64-bit word");
+
+/// aux value of a kMsgSend record for a broadcast (one record per
+/// broadcast, mirroring RunStats::msgs_sent accounting).
+inline constexpr std::uint16_t kBroadcastDst = 0xFFFF;
+
+inline const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kEventFire: return "event-fire";
+    case TraceKind::kEventCancel: return "event-cancel";
+    case TraceKind::kQueueDepth: return "queue-depth";
+    case TraceKind::kMsgSend: return "msg-send";
+    case TraceKind::kMsgDeliver: return "msg-deliver";
+    case TraceKind::kMsgRetry: return "msg-retry";
+    case TraceKind::kMsgBuffered: return "msg-buffered";
+    case TraceKind::kMsgForwarded: return "msg-forwarded";
+    case TraceKind::kHandoff: return "handoff";
+    case TraceKind::kDisconnect: return "disconnect";
+    case TraceKind::kReconnect: return "reconnect";
+    case TraceKind::kBlock: return "block";
+    case TraceKind::kUnblock: return "unblock";
+    case TraceKind::kInitStart: return "init-start";
+    case TraceKind::kRoundCommit: return "round-commit";
+    case TraceKind::kRoundAbort: return "round-abort";
+    case TraceKind::kCkptTaken: return "ckpt-taken";
+    case TraceKind::kCkptPromoted: return "ckpt-promoted";
+    case TraceKind::kCkptPermanent: return "ckpt-permanent";
+    case TraceKind::kCkptDiscarded: return "ckpt-discarded";
+    case TraceKind::kWeightSplit: return "weight-split";
+    case TraceKind::kWeightReturn: return "weight-return";
+    case TraceKind::kCount: break;
+  }
+  return "?";
+}
+
+/// One trace record: 32 bytes, trivially copyable — written to disk raw
+/// (trace_io.hpp) and memcmp-comparable for determinism tests.
+struct TraceRecord {
+  sim::SimTime at;      // simulation time (ns)
+  std::uint64_t arg0;
+  std::uint64_t arg1;
+  std::int32_t pid;     // process, or -1 for simulator-global records
+  std::uint8_t kind;    // TraceKind
+  std::uint8_t sub;     // kind-specific discriminator (MsgKind, CkptKind)
+  std::uint16_t aux;    // kind-specific small operand (peer pid, MSS id)
+};
+static_assert(sizeof(TraceRecord) == 32, "records are written to disk raw");
+static_assert(std::is_trivially_copyable_v<TraceRecord>);
+
+/// Bump-pointer recorder. Off (the default) it records nothing; callers
+/// additionally keep their Tracer pointer null when tracing is off, so
+/// the hot path pays one predictable branch and nothing else.
+class Tracer {
+ public:
+  static constexpr std::uint64_t kAllKinds =
+      (kTraceKindCount == 64) ? ~0ull : (1ull << kTraceKindCount) - 1;
+
+  static constexpr std::uint64_t mask_of(TraceKind k) {
+    return 1ull << static_cast<int>(k);
+  }
+
+  /// Turns recording on for the kinds in `mask`. Pre-allocates the first
+  /// chunk so the first record in the run is as cheap as the rest.
+  void enable(std::uint64_t mask = kAllKinds) {
+    mask_ = mask;
+    if (chunks_.empty()) grow();
+  }
+  void disable() { mask_ = 0; }
+  bool enabled(TraceKind k) const { return (mask_ & mask_of(k)) != 0; }
+  std::uint64_t mask() const { return mask_; }
+
+  void record(TraceKind kind, sim::SimTime at, std::int32_t pid,
+              std::uint8_t sub, std::uint16_t aux, std::uint64_t arg0 = 0,
+              std::uint64_t arg1 = 0) {
+    if ((mask_ & mask_of(kind)) == 0) return;
+    if (fill_ == kChunkRecords) grow();
+    TraceRecord& r = cur_[fill_++];
+    r.at = at;
+    r.arg0 = arg0;
+    r.arg1 = arg1;
+    r.pid = pid;
+    r.kind = static_cast<std::uint8_t>(kind);
+    r.sub = sub;
+    r.aux = aux;
+    last_at_ = at;
+    ++count_;
+  }
+
+  std::uint64_t size() const { return count_; }
+
+  /// Simulation time of the most recent record (kTimeZero before any).
+  /// Lets sites without a clock of their own (CheckpointStore::discard)
+  /// stamp records monotonically.
+  sim::SimTime last_at() const { return last_at_; }
+
+  /// Copies every record out, in append order, and resets the buffers.
+  std::vector<TraceRecord> take_records() {
+    std::vector<TraceRecord> out;
+    out.reserve(static_cast<std::size_t>(count_));
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      std::size_t n = c + 1 == chunks_.size() ? fill_ : kChunkRecords;
+      const TraceRecord* p = chunks_[c].get();
+      out.insert(out.end(), p, p + n);
+    }
+    chunks_.clear();
+    cur_ = nullptr;
+    fill_ = kChunkRecords;  // forces grow() on the next record
+    count_ = 0;
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kChunkRecords = 4096;  // 128 KB per chunk
+
+  void grow() {
+    chunks_.push_back(std::make_unique<TraceRecord[]>(kChunkRecords));
+    cur_ = chunks_.back().get();
+    fill_ = 0;
+  }
+
+  std::uint64_t mask_ = 0;
+  TraceRecord* cur_ = nullptr;
+  std::size_t fill_ = kChunkRecords;
+  std::uint64_t count_ = 0;
+  sim::SimTime last_at_ = sim::kTimeZero;
+  std::vector<std::unique_ptr<TraceRecord[]>> chunks_;
+};
+
+}  // namespace mck::obs

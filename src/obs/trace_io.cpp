@@ -1,0 +1,137 @@
+#include "obs/trace_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace mck::obs {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'M', 'C', 'K', 'T', 'R', 'C', '0', '1'};
+constexpr char kRunMagic[4] = {'R', 'U', 'N', '.'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+bool write_all(std::FILE* f, const void* p, std::size_t n) {
+  return n == 0 || std::fwrite(p, 1, n, f) == n;
+}
+
+bool read_all(std::FILE* f, void* p, std::size_t n) {
+  return n == 0 || std::fread(p, 1, n, f) == n;
+}
+
+template <typename T>
+bool write_pod(std::FILE* f, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return write_all(f, &v, sizeof v);
+}
+
+template <typename T>
+bool read_pod(std::FILE* f, T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return read_all(f, &v, sizeof v);
+}
+
+}  // namespace
+
+bool write_trace_file(const std::string& path, const TraceFileMeta& meta,
+                      const std::vector<TraceRun>& runs, std::string* error) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    set_error(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  bool ok = write_all(f.get(), kFileMagic, sizeof kFileMagic);
+  ok = ok && write_pod(f.get(), static_cast<std::uint32_t>(meta.num_processes));
+  ok = ok && write_pod(f.get(), static_cast<std::uint32_t>(meta.algo.size()));
+  ok = ok && write_all(f.get(), meta.algo.data(), meta.algo.size());
+  for (const TraceRun& run : runs) {
+    ok = ok && write_all(f.get(), kRunMagic, sizeof kRunMagic);
+    ok = ok && write_pod(f.get(), static_cast<std::uint32_t>(run.rep));
+    ok = ok && write_pod(f.get(), run.seed);
+    ok = ok && write_pod(f.get(),
+                         static_cast<std::uint64_t>(run.records.size()));
+    ok = ok && write_all(f.get(), run.records.data(),
+                         run.records.size() * sizeof(TraceRecord));
+  }
+  if (!ok) {
+    set_error(error, "short write to " + path);
+    return false;
+  }
+  if (std::fflush(f.get()) != 0) {
+    set_error(error, "flush failed for " + path);
+    return false;
+  }
+  return true;
+}
+
+std::optional<TraceFile> read_trace_file(const std::string& path,
+                                         std::string* error) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    set_error(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  char magic[8];
+  if (!read_all(f.get(), magic, sizeof magic) ||
+      std::memcmp(magic, kFileMagic, sizeof kFileMagic) != 0) {
+    set_error(error, path + ": not a mck trace file (bad magic)");
+    return std::nullopt;
+  }
+  TraceFile out;
+  std::uint32_t n = 0, algo_len = 0;
+  if (!read_pod(f.get(), n) || !read_pod(f.get(), algo_len) ||
+      algo_len > 4096) {
+    set_error(error, path + ": corrupt header");
+    return std::nullopt;
+  }
+  out.meta.num_processes = static_cast<int>(n);
+  out.meta.algo.resize(algo_len);
+  if (!read_all(f.get(), out.meta.algo.data(), algo_len)) {
+    set_error(error, path + ": truncated header");
+    return std::nullopt;
+  }
+  for (;;) {
+    char run_magic[4];
+    std::size_t got = std::fread(run_magic, 1, sizeof run_magic, f.get());
+    if (got == 0) break;  // clean EOF
+    if (got != sizeof run_magic ||
+        std::memcmp(run_magic, kRunMagic, sizeof kRunMagic) != 0) {
+      set_error(error, path + ": corrupt run section");
+      return std::nullopt;
+    }
+    TraceRun run;
+    std::uint32_t rep = 0;
+    std::uint64_t count = 0;
+    if (!read_pod(f.get(), rep) || !read_pod(f.get(), run.seed) ||
+        !read_pod(f.get(), count)) {
+      set_error(error, path + ": truncated run header");
+      return std::nullopt;
+    }
+    run.rep = static_cast<int>(rep);
+    if (count > (1ull << 30)) {  // > 32 GB of records: corrupt, not huge
+      set_error(error, path + ": implausible record count");
+      return std::nullopt;
+    }
+    run.records.resize(count);
+    if (!read_all(f.get(), run.records.data(),
+                  count * sizeof(TraceRecord))) {
+      set_error(error, path + ": truncated records");
+      return std::nullopt;
+    }
+    out.runs.push_back(std::move(run));
+  }
+  return out;
+}
+
+}  // namespace mck::obs

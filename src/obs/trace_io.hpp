@@ -1,0 +1,60 @@
+// Binary trace-file format for the flight recorder.
+//
+// Layout (little-endian, raw 32-byte TraceRecords):
+//   file header:  magic "MCKTRC01" (8 B)
+//                 u32 num_processes
+//                 u32 algo name length, followed by that many bytes
+//   per run:      magic "RUN." (4 B)   — one section per replication,
+//                 u32 rep index          in rep-index order
+//                 u64 seed
+//                 u64 record count
+//                 count * sizeof(TraceRecord) raw records
+//
+// The writer emits runs in the order given (the harness merges per-rep
+// buffers in rep-index order), so the same (config, seed, reps) always
+// produces a byte-identical file regardless of --jobs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mck::obs {
+
+/// Records of one replication, tagged with its rep index and seed.
+struct TraceRun {
+  int rep = 0;
+  std::uint64_t seed = 0;
+  std::vector<TraceRecord> records;
+};
+
+struct TraceFileMeta {
+  int num_processes = 0;
+  std::string algo;
+};
+
+struct TraceFile {
+  TraceFileMeta meta;
+  std::vector<TraceRun> runs;
+
+  std::uint64_t total_records() const {
+    std::uint64_t n = 0;
+    for (const TraceRun& r : runs) n += r.records.size();
+    return n;
+  }
+};
+
+/// Writes `runs` to `path`; returns false (and fills *error if non-null)
+/// on I/O failure.
+bool write_trace_file(const std::string& path, const TraceFileMeta& meta,
+                      const std::vector<TraceRun>& runs,
+                      std::string* error = nullptr);
+
+/// Reads a trace file back; std::nullopt (and *error) on a malformed or
+/// unreadable file.
+std::optional<TraceFile> read_trace_file(const std::string& path,
+                                         std::string* error = nullptr);
+
+}  // namespace mck::obs

@@ -6,6 +6,20 @@
 
 namespace mck::rt {
 
+namespace {
+
+/// One guarded append; the null test is the entire cost when tracing is
+/// off (ctx.tracer never changes during a run).
+inline void trace(const ProcessContext& ctx, obs::TraceKind kind,
+                  std::uint8_t sub, std::uint16_t aux, std::uint64_t arg0,
+                  std::uint64_t arg1) {
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->record(kind, ctx.sim->now(), ctx.self, sub, aux, arg0, arg1);
+  }
+}
+
+}  // namespace
+
 void CheckpointProtocol::bind(const ProcessContext& ctx) {
   ctx_ = ctx;
   // Size the per-process energy ledger once, instead of re-checking the
@@ -46,6 +60,8 @@ void CheckpointProtocol::send_computation(ProcessId dst) {
   }
   if (ctx_.timing->use_wire_sizes) m.size_bytes = honest;
   m.id = ctx_.log->record_send(ctx_.self, dst, m.sent_at);
+  trace(ctx_, obs::TraceKind::kMsgSend, static_cast<std::uint8_t>(m.kind),
+        static_cast<std::uint16_t>(dst), m.id, m.size_bytes);
   ++ctx_.stats->msgs_sent[static_cast<int>(m.kind)];
   ctx_.stats->bytes_sent[static_cast<int>(m.kind)] += m.size_bytes;
   if (ctx_.timing->record_wire_bytes || ctx_.timing->use_wire_sizes) {
@@ -59,6 +75,8 @@ void CheckpointProtocol::send_computation(ProcessId dst) {
 }
 
 void CheckpointProtocol::on_deliver(const Message& m) {
+  trace(ctx_, obs::TraceKind::kMsgDeliver, static_cast<std::uint8_t>(m.kind),
+        static_cast<std::uint16_t>(m.src), m.id, m.size_bytes);
   ++ctx_.stats->deliveries;
   stats::ProcessEnergy& e =
       ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)];
@@ -91,6 +109,8 @@ void CheckpointProtocol::send_system(MsgKind kind, ProcessId dst,
   m.sent_at = ctx_.sim->now();
   m.payload = std::move(payload);
   m.id = ctx_.log->next_msg_id();
+  trace(ctx_, obs::TraceKind::kMsgSend, static_cast<std::uint8_t>(kind),
+        static_cast<std::uint16_t>(dst), m.id, m.size_bytes);
   ++ctx_.stats->msgs_sent[static_cast<int>(kind)];
   ctx_.stats->bytes_sent[static_cast<int>(kind)] += m.size_bytes;
   if (want_honest) {
@@ -123,6 +143,8 @@ void CheckpointProtocol::broadcast_system(
   m.id = ctx_.log->next_msg_id();
   // A broadcast is one transmission on the shared medium but is counted
   // once per recipient for byte accounting symmetry with [13].
+  trace(ctx_, obs::TraceKind::kMsgSend, static_cast<std::uint8_t>(kind),
+        obs::kBroadcastDst, m.id, m.size_bytes);
   ++ctx_.stats->msgs_sent[static_cast<int>(kind)];
   ctx_.stats->bytes_sent[static_cast<int>(kind)] += m.size_bytes;
   if (want_honest) {
@@ -160,12 +182,16 @@ void CheckpointProtocol::block() {
   if (blocked_) return;
   blocked_ = true;
   blocked_since_ = ctx_.sim->now();
+  trace(ctx_, obs::TraceKind::kBlock, 0, 0, 0, 0);
 }
 
 void CheckpointProtocol::unblock() {
   if (!blocked_) return;
   blocked_ = false;
-  ctx_.stats->blocked_time_total += ctx_.sim->now() - blocked_since_;
+  sim::SimTime blocked_for = ctx_.sim->now() - blocked_since_;
+  ctx_.stats->blocked_time_total += blocked_for;
+  trace(ctx_, obs::TraceKind::kUnblock, 0, 0,
+        static_cast<std::uint64_t>(blocked_for), 0);
   blocked_since_ = -1;
   dispatch_deferred();
 }

@@ -15,6 +15,7 @@
 #include "ckpt/event_log.hpp"
 #include "ckpt/store.hpp"
 #include "ckpt/tracker.hpp"
+#include "obs/trace.hpp"
 #include "rt/message.hpp"
 #include "rt/transport.hpp"
 #include "sim/simulator.hpp"
@@ -110,6 +111,10 @@ struct ProcessContext {
   /// backs honest wire-size accounting. May be null in minimal tests —
   /// wire accounting then falls back to the flat budgets.
   const WireCodec* codec = nullptr;
+  /// Flight recorder (null = off). The protocol base traces every send,
+  /// delivery and block/unblock here, so all eight algorithms get the
+  /// message-path trace points for free.
+  obs::Tracer* tracer = nullptr;
 };
 
 class CheckpointProtocol {

@@ -32,6 +32,9 @@ std::uint32_t Simulator::grow_slots() {
 
 void Simulator::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
   if (!is_pending(slot, gen)) return;  // fired, cancelled, or reused
+  if (tracer_ != nullptr) {
+    tracer_->record(obs::TraceKind::kEventCancel, now_, -1, 0, 0, slot, gen);
+  }
   slot_ref(slot).fn.reset();
   release_slot(slot);
   ++pending_cancelled_;  // its heap record is now a tombstone

@@ -18,9 +18,14 @@ class TextTable {
   }
 
   std::string render() const {
-    std::vector<std::size_t> widths(header_.size(), 0);
+    // A row may carry more cells than the header; the table widens to the
+    // longest row (extra header cells render empty) instead of silently
+    // truncating.
+    std::size_t columns = header_.size();
+    for (const auto& r : rows_) columns = std::max(columns, r.size());
+    std::vector<std::size_t> widths(columns, 0);
     auto widen = [&](const std::vector<std::string>& row) {
-      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
         widths[i] = std::max(widths[i], row[i].size());
       }
     };

@@ -56,6 +56,52 @@ TEST(EventLog, InTransitCount) {
   EXPECT_EQ(log.count_in_transit(line), 1u);
 }
 
+TEST(EventLog, ZeroAndFullLines) {
+  EventLog log(2);
+  MessageId m1 = log.record_send(0, 1, 0);
+  log.record_recv(m1, 1, 1);
+  log.record_send(1, 0, 2);  // still in flight (recv_event == kNoEvent)
+
+  // The zero line covers no events: nothing can be orphaned and neither
+  // send is inside it, so nothing is in transit across it either.
+  Line zero(2);
+  EXPECT_TRUE(log.find_orphans(zero).empty());
+  EXPECT_EQ(log.count_in_transit(zero), 0u);
+
+  // The full line covers everything: every receive has its send, and only
+  // the never-received message crosses the cut.
+  Line full(2);
+  full[0] = log.cursor(0);
+  full[1] = log.cursor(1);
+  EXPECT_TRUE(log.find_orphans(full).empty());
+  EXPECT_EQ(log.count_in_transit(full), 1u);
+}
+
+TEST(EventLog, IdLookupSurvivesSystemIdAllocation) {
+  EventLog log(3);
+  // System messages draw MessageIds from the same sequence but create no
+  // log record; the id->slot index must keep finding the computation
+  // records in between.
+  log.next_msg_id();
+  log.next_msg_id();
+  MessageId a = log.record_send(0, 1, 0);
+  log.next_msg_id();
+  MessageId b = log.record_send(2, 1, 1);
+  EXPECT_LT(a, b);
+  log.record_recv(b, 1, 2);
+  log.record_recv(a, 1, 3);
+
+  ASSERT_EQ(log.messages().size(), 2u);
+  const MsgRecord& ra = log.messages()[0];
+  EXPECT_EQ(ra.id, a);
+  EXPECT_EQ(ra.src, 0);
+  EXPECT_EQ(ra.recv_event, 1u);  // processed second at P1
+  const MsgRecord& rb = log.messages()[1];
+  EXPECT_EQ(rb.id, b);
+  EXPECT_EQ(rb.src, 2);
+  EXPECT_EQ(rb.recv_event, 0u);  // processed first at P1
+}
+
 TEST(Store, LifecyclePermanent) {
   CheckpointStore store(2);
   CkptRef ref = store.take(0, CkptKind::kTentative, 1, 42, 7, 100);

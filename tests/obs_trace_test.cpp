@@ -1,0 +1,286 @@
+// Flight-recorder tests: Tracer mechanics, trace-file round trips, the
+// determinism guarantee (byte-identical traces for any --jobs count), and
+// the cross-check that metrics derived purely from the trace agree with
+// the protocols' own rt::RunStats accounting — two independent paths that
+// must reach the same numbers, for every algorithm.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "ckpt/store.hpp"
+#include "harness/experiment.hpp"
+#include "obs/round_metrics.hpp"
+#include "obs/trace_io.hpp"
+#include "stats/table.hpp"
+
+namespace mck {
+namespace {
+
+using obs::TraceKind;
+using obs::TraceRecord;
+using obs::Tracer;
+
+TEST(Tracer, OffRecordsNothing) {
+  Tracer t;
+  t.record(TraceKind::kMsgSend, 10, 0, 0, 1, 42, 50);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.take_records().empty());
+}
+
+TEST(Tracer, RecordsInOrderWithFields) {
+  Tracer t;
+  t.enable();
+  t.record(TraceKind::kMsgSend, 10, 3, 1, 7, 42, 50);
+  t.record(TraceKind::kBlock, 20, 5, 0, 0);
+  std::vector<TraceRecord> r = t.take_records();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].at, 10);
+  EXPECT_EQ(r[0].pid, 3);
+  EXPECT_EQ(r[0].kind, static_cast<std::uint8_t>(TraceKind::kMsgSend));
+  EXPECT_EQ(r[0].sub, 1);
+  EXPECT_EQ(r[0].aux, 7);
+  EXPECT_EQ(r[0].arg0, 42u);
+  EXPECT_EQ(r[0].arg1, 50u);
+  EXPECT_EQ(r[1].kind, static_cast<std::uint8_t>(TraceKind::kBlock));
+  // take_records resets: the tracer is reusable.
+  EXPECT_EQ(t.size(), 0u);
+  t.record(TraceKind::kBlock, 30, 1, 0, 0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Tracer, MaskFiltersKinds) {
+  Tracer t;
+  t.enable(Tracer::mask_of(TraceKind::kBlock));
+  EXPECT_TRUE(t.enabled(TraceKind::kBlock));
+  EXPECT_FALSE(t.enabled(TraceKind::kMsgSend));
+  t.record(TraceKind::kMsgSend, 1, 0, 0, 0);
+  t.record(TraceKind::kBlock, 2, 0, 0, 0);
+  std::vector<TraceRecord> r = t.take_records();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].kind, static_cast<std::uint8_t>(TraceKind::kBlock));
+}
+
+TEST(Tracer, GrowsAcrossChunksPreservingOrder) {
+  Tracer t;
+  t.enable();
+  const std::uint64_t n = 10000;  // > 2 chunks of 4096
+  for (std::uint64_t i = 0; i < n; ++i) {
+    t.record(TraceKind::kEventFire, static_cast<sim::SimTime>(i), -1, 0, 0, i);
+  }
+  EXPECT_EQ(t.size(), n);
+  std::vector<TraceRecord> r = t.take_records();
+  ASSERT_EQ(r.size(), n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(r[i].arg0, i);
+  }
+}
+
+TEST(TraceIo, RoundTrip) {
+  obs::TraceFileMeta meta;
+  meta.num_processes = 4;
+  meta.algo = "cao-singhal";
+  std::vector<obs::TraceRun> runs(2);
+  runs[0].rep = 0;
+  runs[0].seed = 1;
+  runs[1].rep = 1;
+  runs[1].seed = 99;
+  for (int i = 0; i < 5; ++i) {
+    TraceRecord r{};
+    r.at = i;
+    r.kind = static_cast<std::uint8_t>(TraceKind::kMsgSend);
+    r.arg0 = static_cast<std::uint64_t>(100 + i);
+    runs[static_cast<std::size_t>(i % 2)].records.push_back(r);
+  }
+
+  const std::string path = "obs_trace_roundtrip.tmp";
+  std::string err;
+  ASSERT_TRUE(obs::write_trace_file(path, meta, runs, &err)) << err;
+  std::optional<obs::TraceFile> f = obs::read_trace_file(path, &err);
+  ASSERT_TRUE(f.has_value()) << err;
+  std::remove(path.c_str());
+
+  EXPECT_EQ(f->meta.num_processes, 4);
+  EXPECT_EQ(f->meta.algo, "cao-singhal");
+  ASSERT_EQ(f->runs.size(), 2u);
+  EXPECT_EQ(f->runs[1].seed, 99u);
+  EXPECT_EQ(f->total_records(), 5u);
+  for (std::size_t k = 0; k < 2; ++k) {
+    ASSERT_EQ(f->runs[k].records.size(), runs[k].records.size());
+    EXPECT_EQ(std::memcmp(f->runs[k].records.data(), runs[k].records.data(),
+                          runs[k].records.size() * sizeof(TraceRecord)),
+              0);
+  }
+}
+
+TEST(TraceIo, RejectsCorruptFile) {
+  const std::string path = "obs_trace_corrupt.tmp";
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(fp, nullptr);
+  std::fputs("NOTATRACEFILE", fp);
+  std::fclose(fp);
+  std::string err;
+  EXPECT_FALSE(obs::read_trace_file(path, &err).has_value());
+  EXPECT_FALSE(err.empty());
+  std::remove(path.c_str());
+}
+
+harness::ExperimentConfig small_config(harness::Algorithm a) {
+  harness::ExperimentConfig cfg;
+  cfg.sys.algorithm = a;
+  cfg.sys.num_processes = 8;
+  cfg.sys.seed = 7;
+  cfg.rate = 0.02;
+  cfg.ckpt_interval = sim::seconds(600);
+  cfg.horizon = sim::seconds(3600);
+  cfg.capture_trace = true;
+  return cfg;
+}
+
+constexpr harness::Algorithm kAllAlgorithms[] = {
+    harness::Algorithm::kCaoSinghal,    harness::Algorithm::kKooToueg,
+    harness::Algorithm::kElnozahy,      harness::Algorithm::kChandyLamport,
+    harness::Algorithm::kLaiYang,       harness::Algorithm::kSimpleScheme,
+    harness::Algorithm::kRevisedScheme, harness::Algorithm::kUncoordinated,
+};
+
+// The load-bearing invariant: everything the trace says happened must
+// match what the protocols' own counters say happened. Send counts per
+// kind, checkpoint lifecycle counts, commit counts and blocking time each
+// have two independent accounting paths; any drift is a bug in one of
+// them.
+TEST(TraceCrossCheck, DerivedMetricsMatchRunStatsForAllAlgorithms) {
+  for (harness::Algorithm a : kAllAlgorithms) {
+    SCOPED_TRACE(harness::to_string(a));
+    harness::RunResult res = harness::run_replicated(small_config(a), 2, 1);
+    ASSERT_EQ(res.traces.size(), 2u);
+    obs::TraceSummary s = obs::summarize_runs(res.traces);
+
+    for (int k = 0; k < rt::kMsgKindCount; ++k) {
+      EXPECT_EQ(s.msgs_sent_by_kind[k], res.stats.msgs_sent[k])
+          << "msg kind " << k;
+    }
+    EXPECT_EQ(s.by_kind[static_cast<int>(TraceKind::kMsgDeliver)],
+              res.stats.deliveries);
+    EXPECT_EQ(
+        s.ckpt_taken_by_kind[static_cast<int>(ckpt::CkptKind::kTentative)],
+        res.stats.tentative_taken);
+    EXPECT_EQ(s.ckpt_taken_by_kind[static_cast<int>(ckpt::CkptKind::kMutable)],
+              res.stats.mutable_taken);
+    EXPECT_EQ(s.promoted, res.stats.mutable_promoted);
+    EXPECT_EQ(s.discarded_mutable, res.stats.mutable_discarded);
+    EXPECT_EQ(s.permanent, res.stats.permanent_made);
+    EXPECT_EQ(s.rounds_committed, res.committed);
+    EXPECT_EQ(s.rounds_aborted, res.aborted);
+    EXPECT_EQ(s.blocked_total, res.stats.blocked_time_total);
+  }
+}
+
+// Round latencies reassembled from the trace must agree with the
+// tracker-side commit-delay statistic, round for round.
+TEST(TraceCrossCheck, RoundCommitLatencyMatchesCommitDelay) {
+  harness::RunResult res = harness::run_replicated(
+      small_config(harness::Algorithm::kCaoSinghal), 2, 1);
+  std::vector<obs::RoundMetrics> rounds = obs::derive_rounds_runs(res.traces);
+
+  std::uint64_t committed = 0;
+  double sum_s = 0.0;
+  for (const obs::RoundMetrics& r : rounds) {
+    if (!r.committed()) continue;
+    ++committed;
+    sum_s += sim::to_seconds(r.commit_latency());
+    EXPECT_GE(r.commit_latency(), 0);
+    EXPECT_GE(r.first_tentative_at, r.started_at);
+  }
+  ASSERT_GT(committed, 0u);
+  EXPECT_EQ(committed, res.committed);
+  EXPECT_NEAR(sum_s / static_cast<double>(committed),
+              res.commit_delay_s.mean(), 1e-9);
+}
+
+// Mobility records only appear on the cellular transport and must match
+// the transport's own counters.
+TEST(TraceCrossCheck, MobilityCountersMatchTransport) {
+  harness::SystemOptions opts;
+  opts.num_processes = 4;
+  opts.transport = harness::TransportKind::kCellular;
+  obs::Tracer tracer;
+  tracer.enable();
+  opts.tracer = &tracer;
+  harness::System sys(opts);
+  mobile::CellularTransport* cell = sys.cellular();
+  ASSERT_NE(cell, nullptr);
+
+  cell->handoff(0, (cell->mss_of(0) + 1) % cell->num_mss());
+  cell->disconnect(1);
+  sys.send(2, 1);  // buffered at the MSS while P1 is disconnected
+  sys.simulator().run_until(sim::kTimeNever);
+  cell->reconnect(1, 0);
+  sys.simulator().run_until(sim::kTimeNever);
+
+  obs::TraceSummary s = obs::summarize(tracer.take_records());
+  EXPECT_EQ(s.handoffs, cell->handoffs());
+  EXPECT_EQ(s.disconnects, 1u);
+  EXPECT_EQ(s.reconnects, 1u);
+  EXPECT_EQ(s.buffered, cell->messages_buffered());
+  EXPECT_EQ(s.buffered, 1u);
+}
+
+// Determinism: the per-rep trace buffers (and hence the trace file bytes)
+// must not depend on the worker count.
+TEST(TraceDeterminism, TracesByteIdenticalAcrossJobCounts) {
+  harness::ExperimentConfig cfg = small_config(harness::Algorithm::kCaoSinghal);
+  harness::RunResult serial = harness::run_replicated(cfg, 4, 1);
+  harness::RunResult parallel = harness::run_replicated(cfg, 4, 4);
+  ASSERT_EQ(serial.traces.size(), 4u);
+  ASSERT_EQ(parallel.traces.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(serial.traces[i].rep, static_cast<int>(i));
+    EXPECT_EQ(serial.traces[i].seed, parallel.traces[i].seed);
+    ASSERT_EQ(serial.traces[i].records.size(),
+              parallel.traces[i].records.size());
+    EXPECT_EQ(std::memcmp(serial.traces[i].records.data(),
+                          parallel.traces[i].records.data(),
+                          serial.traces[i].records.size() * sizeof(TraceRecord)),
+              0);
+  }
+}
+
+// Tracing off must leave no trace machinery engaged: no buffers, no
+// records, identical results.
+TEST(TraceDeterminism, CaptureOffProducesNoTracesAndSameResults) {
+  harness::ExperimentConfig cfg = small_config(harness::Algorithm::kCaoSinghal);
+  cfg.capture_trace = false;
+  harness::RunResult off = harness::run_replicated(cfg, 2, 1);
+  EXPECT_TRUE(off.traces.empty());
+
+  cfg.capture_trace = true;
+  harness::RunResult on = harness::run_replicated(cfg, 2, 1);
+  EXPECT_EQ(off.committed, on.committed);
+  EXPECT_EQ(off.stats.tentative_taken, on.stats.tentative_taken);
+  EXPECT_EQ(off.stats.deliveries, on.stats.deliveries);
+  EXPECT_NEAR(off.commit_delay_s.mean(), on.commit_delay_s.mean(), 0.0);
+}
+
+// Satellite: rows wider than the header must widen the table instead of
+// being silently truncated.
+TEST(TextTable, RowsWiderThanHeaderRenderFully) {
+  stats::TextTable t({"a", "b"});
+  t.add_row({"1", "2", "extra-cell"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("extra-cell"), std::string::npos);
+  // Every line has the same number of column separators.
+  std::size_t first_bars = 0, pos = 0;
+  std::size_t line_end = out.find('\n');
+  for (std::size_t i = 0; i < line_end; ++i) first_bars += out[i] == '|';
+  EXPECT_EQ(first_bars, 4u);  // leading + 2 header cols + widened col
+  std::size_t lines = 0;
+  while ((pos = out.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 3u);  // header, rule, one row
+}
+
+}  // namespace
+}  // namespace mck

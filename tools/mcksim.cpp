@@ -5,6 +5,7 @@
 //          [--reps R] [--jobs N] [--transport lan|cellular]
 //          [--shared-medium] [--commit broadcast|update|hybrid]
 //          [--wire-sizes] [--wire-fidelity] [--csv]
+//          [--trace FILE] [--metrics] [--log-level LVL]
 //
 // Prints the paper's per-initiation metrics for one configuration;
 // --csv emits a machine-readable row instead.
@@ -14,6 +15,9 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "obs/round_metrics.hpp"
+#include "obs/trace_io.hpp"
+#include "util/log.hpp"
 
 using namespace mck;
 
@@ -46,7 +50,13 @@ namespace {
                "                    instead of the paper's flat budgets\n"
                "  --wire-fidelity   serialize payloads through the codec on\n"
                "                    every hop (lossless: results identical)\n"
-               "  --csv             one CSV row instead of the report\n");
+               "  --csv             one CSV row instead of the report\n"
+               "  --trace FILE      record a flight-recorder trace (inspect\n"
+               "                    with mcktrace; bytes are identical for\n"
+               "                    any --jobs)\n"
+               "  --metrics         derive trace metrics: extra CSV columns,\n"
+               "                    or a metrics table after the report\n"
+               "  --log-level LVL   off | info | trace (stderr; default off)\n");
   std::exit(2);
 }
 
@@ -69,6 +79,8 @@ int main(int argc, char** argv) {
   int jobs = 0;  // 0 = MCK_JOBS env, else serial
   bool csv = false;
   double hours = 4.0;
+  std::string trace_path;
+  bool metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -137,6 +149,12 @@ int main(int argc, char** argv) {
       cfg.sys.wire_fidelity = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--log-level") {
+      if (!util::Log::set_level(next())) usage("unknown --log-level");
     } else if (arg == "--help" || arg == "-h") {
       usage();
     } else {
@@ -144,17 +162,53 @@ int main(int argc, char** argv) {
     }
   }
   cfg.horizon = sim::from_seconds(hours * 3600.0);
+  cfg.capture_trace = !trace_path.empty() || metrics;
 
   harness::RunResult res = harness::run_replicated(cfg, reps, jobs);
+
+  if (!trace_path.empty()) {
+    obs::TraceFileMeta meta;
+    meta.num_processes = cfg.sys.num_processes;
+    meta.algo = harness::to_string(cfg.sys.algorithm);
+    std::string err;
+    if (!obs::write_trace_file(trace_path, meta, res.traces, &err)) {
+      std::fprintf(stderr, "mcksim: cannot write trace: %s\n", err.c_str());
+      return 1;
+    }
+  }
+
+  // Derived trace metrics, computed only on request so the default CSV
+  // shape (and the committed goldens built on it) stays untouched.
+  obs::TraceSummary summary;
+  std::vector<obs::RoundMetrics> rounds;
+  if (metrics) {
+    summary = obs::summarize_runs(res.traces);
+    rounds = obs::derive_rounds_runs(res.traces);
+  }
+  auto round_mean = [&](sim::SimTime (obs::RoundMetrics::*latency)() const) {
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const obs::RoundMetrics& r : rounds) {
+      sim::SimTime l = (r.*latency)();
+      if (l < 0) continue;
+      sum += sim::to_seconds(l);
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  };
 
   if (csv) {
     std::printf(
         "algo,n,rate,interval_s,hours,reps,initiations,committed,aborted,"
         "tentative_per_init,redundant_mutable_per_init,commit_delay_s,"
         "blocked_s_per_init,sys_msgs_per_init,comp_msgs,sys_bytes,"
-        "sys_wire_bytes,comp_wire_bytes,joules,consistent\n");
+        "sys_wire_bytes,comp_wire_bytes,joules,consistent%s\n",
+        metrics ? ",trace_records,trace_rounds_committed,"
+                  "trace_init_to_tentative_s,trace_init_to_commit_s,"
+                  "trace_useless_mutable,trace_blocked_s"
+                : "");
     std::printf("%s,%d,%g,%g,%g,%d,%llu,%llu,%llu,%.4f,%.4f,%.4f,%.4f,%.4f,"
-                "%llu,%llu,%llu,%llu,%.2f,%d\n",
+                "%llu,%llu,%llu,%llu,%.2f,%d",
                 harness::to_string(cfg.sys.algorithm),
                 cfg.sys.num_processes, cfg.rate,
                 sim::to_seconds(cfg.ckpt_interval), hours, reps,
@@ -171,6 +225,16 @@ int main(int argc, char** argv) {
                 (unsigned long long)res.stats.wire_bytes_sent[static_cast<int>(
                     rt::MsgKind::kComputation)],
                 res.stats.energy.total_joules(), res.consistent ? 1 : 0);
+    if (metrics) {
+      std::printf(",%llu,%llu,%.4f,%.4f,%llu,%.4f",
+                  (unsigned long long)summary.total,
+                  (unsigned long long)summary.rounds_committed,
+                  round_mean(&obs::RoundMetrics::tentative_latency),
+                  round_mean(&obs::RoundMetrics::commit_latency),
+                  (unsigned long long)summary.discarded_mutable,
+                  sim::to_seconds(summary.blocked_total));
+    }
+    std::printf("\n");
     return res.consistent ? 0 : 1;
   }
 
@@ -219,5 +283,11 @@ int main(int argc, char** argv) {
               res.stats.energy.total_joules());
   std::printf("consistency:            %s (%zu lines checked)\n",
               res.consistent ? "OK" : "VIOLATED", res.lines_checked);
+  if (metrics) {
+    obs::Registry reg = obs::build_registry(summary, rounds);
+    std::printf("\ntrace metrics (%llu records over %zu reps):\n%s",
+                (unsigned long long)summary.total, res.traces.size(),
+                reg.render().c_str());
+  }
   return res.consistent ? 0 : 1;
 }

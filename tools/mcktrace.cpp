@@ -1,0 +1,373 @@
+// mcktrace — inspect flight-recorder traces written by mcksim --trace.
+//
+//   mcktrace dump FILE [--kind NAME] [--pid P] [--rep R] [--limit N]
+//   mcktrace stats FILE
+//   mcktrace export FILE --chrome [--out OUT.json]
+//
+// dump prints one line per record (filterable); stats prints the whole-run
+// tallies and the per-round latency breakdown; export --chrome emits a
+// Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ckpt/store.hpp"
+#include "obs/round_metrics.hpp"
+#include "obs/trace_io.hpp"
+#include "rt/message.hpp"
+#include "sim/time.hpp"
+
+using namespace mck;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: mcktrace COMMAND FILE [options]\n"
+               "  dump FILE           print records, one per line\n"
+               "    --kind NAME       only this record kind (e.g. msg-send)\n"
+               "    --pid P           only this process (-1 = simulator)\n"
+               "    --rep R           only this replication\n"
+               "    --limit N         stop after N records\n"
+               "  stats FILE          whole-run tallies + round breakdown\n"
+               "  export FILE --chrome [--out OUT.json]\n"
+               "                      Chrome trace-event JSON (stdout when\n"
+               "                      --out is omitted)\n");
+  std::exit(2);
+}
+
+obs::TraceFile load(const std::string& path) {
+  std::string err;
+  std::optional<obs::TraceFile> f = obs::read_trace_file(path, &err);
+  if (!f) {
+    std::fprintf(stderr, "mcktrace: %s\n", err.c_str());
+    std::exit(1);
+  }
+  return std::move(*f);
+}
+
+const char* msg_kind_name(std::uint8_t sub) {
+  if (sub >= rt::kMsgKindCount) return "?";
+  return rt::to_string(static_cast<rt::MsgKind>(sub));
+}
+
+const char* ckpt_kind_name(std::uint8_t sub) {
+  if (sub > static_cast<std::uint8_t>(ckpt::CkptKind::kDisconnect)) return "?";
+  return ckpt::to_string(static_cast<ckpt::CkptKind>(sub));
+}
+
+// InitiationId is (pid, inum) packed high/low (ckpt/store.hpp); decode
+// instead of printing the raw 64-bit value.
+std::string init_name(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "(P%llu,%llu)",
+                (unsigned long long)(id >> 32),
+                (unsigned long long)(id & 0xffffffffull));
+  return buf;
+}
+
+double bits_to_double(std::uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// Kind-specific human rendering of the sub/aux/arg fields — the one
+/// place the per-kind conventions of obs/trace.hpp are interpreted.
+std::string detail(const obs::TraceRecord& r) {
+  using K = obs::TraceKind;
+  char buf[160];
+  auto k = static_cast<K>(r.kind);
+  switch (k) {
+    case K::kEventFire:
+      std::snprintf(buf, sizeof(buf), "seq=%llu slot=%llu",
+                    (unsigned long long)r.arg0, (unsigned long long)r.arg1);
+      break;
+    case K::kEventCancel:
+      std::snprintf(buf, sizeof(buf), "slot=%llu gen=%llu",
+                    (unsigned long long)r.arg0, (unsigned long long)r.arg1);
+      break;
+    case K::kQueueDepth:
+      std::snprintf(buf, sizeof(buf), "live=%llu heap=%llu",
+                    (unsigned long long)r.arg0, (unsigned long long)r.arg1);
+      break;
+    case K::kMsgSend:
+      if (r.aux == obs::kBroadcastDst) {
+        std::snprintf(buf, sizeof(buf), "%s id=%llu dst=* bytes=%llu",
+                      msg_kind_name(r.sub), (unsigned long long)r.arg0,
+                      (unsigned long long)r.arg1);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s id=%llu dst=%u bytes=%llu",
+                      msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
+                      (unsigned long long)r.arg1);
+      }
+      break;
+    case K::kMsgDeliver:
+      std::snprintf(buf, sizeof(buf), "%s id=%llu src=%u bytes=%llu",
+                    msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
+                    (unsigned long long)r.arg1);
+      break;
+    case K::kMsgRetry:
+      std::snprintf(buf, sizeof(buf), "%s id=%llu dst=%u retries=%llu",
+                    msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
+                    (unsigned long long)r.arg1);
+      break;
+    case K::kMsgBuffered:
+      std::snprintf(buf, sizeof(buf), "%s id=%llu at-mss=%u",
+                    msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux);
+      break;
+    case K::kMsgForwarded:
+      std::snprintf(buf, sizeof(buf), "%s id=%llu mss=%u->%llu",
+                    msg_kind_name(r.sub), (unsigned long long)r.arg1, r.aux,
+                    (unsigned long long)r.arg0);
+      break;
+    case K::kHandoff:
+      std::snprintf(buf, sizeof(buf), "mss=%llu->%llu",
+                    (unsigned long long)r.arg0, (unsigned long long)r.arg1);
+      break;
+    case K::kDisconnect:
+      std::snprintf(buf, sizeof(buf), "at-mss=%llu",
+                    (unsigned long long)r.arg0);
+      break;
+    case K::kReconnect:
+      std::snprintf(buf, sizeof(buf), "at-mss=%llu buffered=%llu",
+                    (unsigned long long)r.arg0, (unsigned long long)r.arg1);
+      break;
+    case K::kBlock:
+      buf[0] = '\0';
+      break;
+    case K::kUnblock:
+      std::snprintf(buf, sizeof(buf), "blocked=%.6fs",
+                    sim::to_seconds(static_cast<sim::SimTime>(r.arg0)));
+      break;
+    case K::kInitStart:
+      std::snprintf(buf, sizeof(buf), "init=%s", init_name(r.arg0).c_str());
+      break;
+    case K::kRoundCommit:
+    case K::kRoundAbort:
+      std::snprintf(buf, sizeof(buf), "init=%s latency=%.6fs",
+                    init_name(r.arg0).c_str(),
+                    sim::to_seconds(static_cast<sim::SimTime>(r.arg1)));
+      break;
+    case K::kCkptTaken:
+      std::snprintf(buf, sizeof(buf), "%s init=%s ref=%llu csn=%llu",
+                    ckpt_kind_name(r.sub), init_name(r.arg0).c_str(),
+                    (unsigned long long)(r.arg1 >> 32),
+                    (unsigned long long)(r.arg1 & 0xffffffffull));
+      break;
+    case K::kCkptPromoted:
+      std::snprintf(buf, sizeof(buf), "%s->tentative init=%s ref=%llu",
+                    ckpt_kind_name(r.sub), init_name(r.arg0).c_str(),
+                    (unsigned long long)r.arg1);
+      break;
+    case K::kCkptPermanent:
+    case K::kCkptDiscarded:
+      std::snprintf(buf, sizeof(buf), "%s init=%s ref=%llu",
+                    ckpt_kind_name(r.sub), init_name(r.arg0).c_str(),
+                    (unsigned long long)r.arg1);
+      break;
+    case K::kWeightSplit:
+      std::snprintf(buf, sizeof(buf), "init=%s dst=%u sent-weight=%g",
+                    init_name(r.arg0).c_str(), r.aux,
+                    bits_to_double(r.arg1));
+      break;
+    case K::kWeightReturn:
+      std::snprintf(buf, sizeof(buf), "init=%s from=%u acc-weight=%g",
+                    init_name(r.arg0).c_str(), r.aux,
+                    bits_to_double(r.arg1));
+      break;
+    case K::kCount:
+      buf[0] = '\0';
+      break;
+  }
+  return buf;
+}
+
+int cmd_dump(const obs::TraceFile& f, int filter_kind, int filter_pid,
+             bool pid_set, int filter_rep, std::uint64_t limit) {
+  std::uint64_t printed = 0;
+  for (const obs::TraceRun& run : f.runs) {
+    if (filter_rep >= 0 && run.rep != filter_rep) continue;
+    for (const obs::TraceRecord& r : run.records) {
+      if (filter_kind >= 0 && r.kind != filter_kind) continue;
+      if (pid_set && r.pid != filter_pid) continue;
+      std::printf("rep=%d %12.6f %4d %-14s %s\n", run.rep,
+                  sim::to_seconds(r.at), r.pid,
+                  obs::to_string(static_cast<obs::TraceKind>(r.kind)),
+                  detail(r).c_str());
+      if (++printed == limit) return 0;
+    }
+  }
+  return 0;
+}
+
+int cmd_stats(const obs::TraceFile& f) {
+  obs::TraceSummary s = obs::summarize_runs(f.runs);
+  std::vector<obs::RoundMetrics> rounds = obs::derive_rounds_runs(f.runs);
+  std::printf("trace: algo=%s n=%d runs=%zu records=%llu\n", f.meta.algo.c_str(),
+              f.meta.num_processes, f.runs.size(),
+              (unsigned long long)f.total_records());
+  for (const obs::TraceRun& run : f.runs) {
+    std::printf("  rep %d: seed=%llu records=%zu\n", run.rep,
+                (unsigned long long)run.seed, run.records.size());
+  }
+  obs::Registry reg = obs::build_registry(s, rounds);
+  std::printf("%s", reg.render().c_str());
+  return 0;
+}
+
+// ---- Chrome trace-event export --------------------------------------------
+//
+// One JSON object per record (skipping the simulator's per-event firings,
+// which would dwarf everything else): queue depth becomes a counter track,
+// block/unblock become complete spans, checkpoint rounds become async
+// begin/end pairs, everything else an instant. pid = replication,
+// tid = process.
+
+double to_us(sim::SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+int cmd_export_chrome(const obs::TraceFile& f, const std::string& out_path) {
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "mcktrace: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(out, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  auto emit = [&](const char* fmt, auto... args) {
+    std::fprintf(out, "%s", first ? "\n" : ",\n");
+    first = false;
+    std::fprintf(out, fmt, args...);
+  };
+
+  for (const obs::TraceRun& run : f.runs) {
+    for (const obs::TraceRecord& r : run.records) {
+      using K = obs::TraceKind;
+      auto k = static_cast<K>(r.kind);
+      switch (k) {
+        case K::kEventFire:
+        case K::kEventCancel:
+        case K::kCount:
+          break;  // too dense / not a record
+        case K::kQueueDepth:
+          emit("{\"ph\":\"C\",\"name\":\"queue depth\",\"pid\":%d,\"ts\":%.3f,"
+               "\"args\":{\"live\":%llu,\"heap\":%llu}}",
+               run.rep, to_us(r.at), (unsigned long long)r.arg0,
+               (unsigned long long)r.arg1);
+          break;
+        case K::kBlock:
+          break;  // rendered from the matching kUnblock, which has the span
+        case K::kUnblock:
+          emit("{\"ph\":\"X\",\"name\":\"blocked\",\"cat\":\"blocking\","
+               "\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+               run.rep, r.pid,
+               to_us(r.at - static_cast<sim::SimTime>(r.arg0)),
+               to_us(static_cast<sim::SimTime>(r.arg0)));
+          break;
+        case K::kInitStart:
+          emit("{\"ph\":\"b\",\"cat\":\"round\",\"name\":\"round\","
+               "\"id\":\"%llu\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f}",
+               (unsigned long long)r.arg0, run.rep, r.pid, to_us(r.at));
+          break;
+        case K::kRoundCommit:
+        case K::kRoundAbort:
+          emit("{\"ph\":\"e\",\"cat\":\"round\",\"name\":\"round\","
+               "\"id\":\"%llu\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+               "\"args\":{\"outcome\":\"%s\"}}",
+               (unsigned long long)r.arg0, run.rep, r.pid, to_us(r.at),
+               k == K::kRoundCommit ? "commit" : "abort");
+          break;
+        default: {
+          std::string name = obs::to_string(k);
+          std::string args;
+          json_escape(args, detail(r));
+          emit("{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"pid\":%d,"
+               "\"tid\":%d,\"ts\":%.3f,\"args\":{\"detail\":\"%s\"}}",
+               name.c_str(), run.rep, r.pid, to_us(r.at), args.c_str());
+          break;
+        }
+      }
+    }
+  }
+  std::fprintf(out, "\n]}\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  std::string cmd = argv[1];
+  std::string path = argv[2];
+
+  int filter_kind = -1;
+  int filter_pid = 0;
+  bool pid_set = false;
+  int filter_rep = -1;
+  std::uint64_t limit = ~0ull;
+  bool chrome = false;
+  std::string out_path;
+
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage("missing value");
+      return argv[++i];
+    };
+    if (arg == "--kind") {
+      std::string name = next();
+      for (int k = 0; k < obs::kTraceKindCount; ++k) {
+        if (name == obs::to_string(static_cast<obs::TraceKind>(k))) {
+          filter_kind = k;
+        }
+      }
+      if (filter_kind < 0) usage("unknown --kind");
+    } else if (arg == "--pid") {
+      filter_pid = std::atoi(next());
+      pid_set = true;
+    } else if (arg == "--rep") {
+      filter_rep = std::atoi(next());
+    } else if (arg == "--limit") {
+      limit = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--chrome") {
+      chrome = true;
+    } else if (arg == "--out" || arg == "-o") {
+      out_path = next();
+    } else {
+      usage(("unknown option: " + arg).c_str());
+    }
+  }
+
+  obs::TraceFile f = load(path);
+  if (cmd == "dump") return cmd_dump(f, filter_kind, filter_pid, pid_set,
+                                     filter_rep, limit);
+  if (cmd == "stats") return cmd_stats(f);
+  if (cmd == "export") {
+    if (!chrome) usage("export needs --chrome");
+    return cmd_export_chrome(f, out_path);
+  }
+  usage(("unknown command: " + cmd).c_str());
+}
