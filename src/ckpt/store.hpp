@@ -29,11 +29,15 @@ enum class CkptKind : std::uint8_t {
   kDisconnect,
 };
 
-// obs/round_metrics.cpp mirrors these discriminators (the trace stores
-// them as raw bytes) to avoid an obs -> ckpt dependency cycle.
-static_assert(static_cast<int>(CkptKind::kTentative) == 2 &&
-                  static_cast<int>(CkptKind::kMutable) == 3,
-              "update the mirror constants in obs/round_metrics.cpp");
+// obs/round_metrics.cpp and obs/audit.cpp mirror these discriminators
+// (the trace stores them as raw bytes) to avoid an obs -> ckpt dependency
+// cycle.
+static_assert(static_cast<int>(CkptKind::kPermanent) == 1 &&
+                  static_cast<int>(CkptKind::kTentative) == 2 &&
+                  static_cast<int>(CkptKind::kMutable) == 3 &&
+                  static_cast<int>(CkptKind::kDisconnect) == 4,
+              "update the mirror constants in obs/round_metrics.cpp "
+              "and obs/audit.cpp");
 
 inline const char* to_string(CkptKind k) {
   switch (k) {
@@ -115,6 +119,12 @@ class CheckpointStore {
       tracer_->record(obs::TraceKind::kCkptTaken, at, pid,
                       static_cast<std::uint8_t>(kind), 0, initiation,
                       (static_cast<std::uint64_t>(ref) << 32) | csn);
+      // Companion record: the event-log cursor is the protocol-free
+      // definition of "which events this checkpoint covers" — it is what
+      // the offline auditor replays Theorem 1 against.
+      tracer_->record(obs::TraceKind::kCkptCursor, at, pid,
+                      static_cast<std::uint8_t>(kind), 0,
+                      static_cast<std::uint64_t>(ref), event_cursor);
     }
     if (kind == CkptKind::kTentative) note_occupancy(pid, at);
     return ref;

@@ -106,7 +106,8 @@ void CellularTransport::arrive(rt::Message msg, MssId routed_to) {
                         static_cast<std::uint8_t>(m.kind),
                         static_cast<std::uint16_t>(
                             mss_of_[static_cast<std::size_t>(m.dst)]),
-                        m.id, 0);
+                        m.id,
+                        buffer_[static_cast<std::size_t>(m.dst)].size() + 1);
       }
       buffer_[static_cast<std::size_t>(m.dst)].push_back(std::move(m));
     } else {

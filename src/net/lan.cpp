@@ -30,7 +30,8 @@ sim::SimTime LanTransport::retry_jitter(const rt::Message& msg) {
   if (retries > 0 && tracer_ != nullptr) {
     tracer_->record(obs::TraceKind::kMsgRetry, sim_.now(), msg.src,
                     static_cast<std::uint8_t>(msg.kind),
-                    static_cast<std::uint16_t>(msg.dst), msg.id, retries);
+                    static_cast<std::uint16_t>(msg.dst), msg.id,
+                    obs::pack_retry(extra, retries));
   }
   return extra;
 }

@@ -1,0 +1,66 @@
+// Causal reconstruction of a recorded run: the happens-before skeleton.
+//
+// build_graph matches kMsgSend records to kMsgDeliver records by message
+// id (including broadcast fan-out — one send record, N-1 delivers — plus
+// kMsgForwarded reroutes and kMsgBuffered deferred deliveries), checks the
+// FIFO channel discipline the simulated transports guarantee (per ordered
+// (src, dst) pair and message class), and exposes the matched hops in
+// delivery order so the auditor (obs/audit.hpp) can replay Theorem 1 and
+// walk critical paths without any protocol knowledge.
+//
+// Everything here is derived from TraceRecords alone — the whole point is
+// an *independent* witness that shares no code with the system under test
+// beyond the trace schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mck::obs {
+
+/// One matched (send, deliver) pair. A broadcast produces one hop per
+/// recipient, all sharing the send-side fields.
+struct MsgHop {
+  std::uint64_t id = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::uint8_t kind = 0;        // rt::MsgKind discriminator (raw byte)
+  bool computation = false;
+  sim::SimTime sent_at = 0;
+  sim::SimTime delivered_at = 0;
+  std::uint64_t send_stamp = 0;  // sender's event index + 1 (0: system msg)
+  std::uint64_t recv_stamp = 0;  // receiver's event index + 1
+  sim::SimTime buffered_at = -1;  // when an MSS buffered it (-1: never)
+  sim::SimTime retry_extra = 0;   // delay added by link-layer retries (ns)
+  bool forwarded = false;         // rerouted after a handoff
+  std::uint32_t send_pos = 0;     // send-record ordinal (channel order key)
+};
+
+/// A causal-order defect found while matching: an unmatched or duplicated
+/// delivery, time travel, or a FIFO inversion on a channel.
+struct CausalIssue {
+  sim::SimTime at = 0;
+  std::uint64_t msg_id = 0;
+  std::string detail;
+};
+
+struct CausalGraph {
+  std::vector<MsgHop> hops;  // in delivery order
+  /// Indices into `hops` of the deliveries at each process, in delivery
+  /// order (trace order == non-decreasing delivered_at).
+  std::vector<std::vector<std::uint32_t>> delivers_by_pid;
+  std::vector<CausalIssue> issues;
+  std::uint64_t sends = 0;       // send records (a broadcast counts once)
+  std::uint64_t delivers = 0;    // deliver records
+  std::uint64_t in_transit = 0;  // expected deliveries that never happened
+};
+
+/// Rebuilds the causal graph of ONE run's records. Message ids repeat
+/// across replications, so runs must be processed separately.
+CausalGraph build_graph(const std::vector<TraceRecord>& records,
+                        int num_processes);
+
+}  // namespace mck::obs

@@ -5,6 +5,29 @@
 
 namespace mck::obs {
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    double lo = i == 0 ? min_ : bounds_[i - 1];
+    double hi = i < bounds_.size() ? bounds_[i] : max_;
+    if (lo < min_) lo = min_;
+    if (hi > max_) hi = max_;
+    if (hi < lo) hi = lo;
+    double before = static_cast<double>(seen);
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target) {
+      double frac = (target - before) / static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return max_;
+}
+
 Registry::Entry* Registry::find(const std::string& name) {
   for (Entry& e : entries_) {
     if (e.name == name) return &e;
@@ -58,7 +81,10 @@ std::string Registry::render() const {
              stats::fmt_u("%llu", h.count()) + " obs, mean " +
                  stats::fmt("%.4f", h.mean()) + " [" +
                  stats::fmt("%.4f", h.min()) + ", " +
-                 stats::fmt("%.4f", h.max()) + "]"});
+                 stats::fmt("%.4f", h.max()) + "] p50 " +
+                 stats::fmt("%.4f", h.p50()) + " p95 " +
+                 stats::fmt("%.4f", h.p95()) + " p99 " +
+                 stats::fmt("%.4f", h.p99())});
         for (std::size_t i = 0; i < h.num_buckets(); ++i) {
           std::string label =
               i < h.bounds().size()

@@ -53,6 +53,16 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Bucket-interpolated quantile estimate for q in [0, 1]: finds the
+  /// bucket holding the q-th observation and interpolates linearly inside
+  /// it, clamping bucket edges to the observed [min, max] so single-bucket
+  /// histograms and the open-ended overflow bucket stay finite. Exact at
+  /// q=0 (min) and q=1 (max); 0 with no observations.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
   double min() const { return min_; }
   double max() const { return max_; }
   const std::vector<double>& bounds() const { return bounds_; }

@@ -49,7 +49,13 @@ void accumulate(TraceSummary& s, const std::vector<TraceRecord>& records) {
       case TraceKind::kReconnect: ++s.reconnects; break;
       case TraceKind::kMsgBuffered: ++s.buffered; break;
       case TraceKind::kMsgForwarded: ++s.forwarded; break;
-      case TraceKind::kMsgRetry: s.retries += r.arg1; break;
+      case TraceKind::kMsgRetry:
+        s.retries += retry_count_of(r.arg1);
+        s.retry_extra_total += retry_extra_of(r.arg1);
+        break;
+      case TraceKind::kQueueDepth:
+        s.queue_depth_samples.push_back(r.arg0);
+        break;
       case TraceKind::kWeightSplit: ++s.weight_splits; break;
       case TraceKind::kWeightReturn: ++s.weight_returns; break;
       default: break;
@@ -168,6 +174,12 @@ Registry build_registry(const TraceSummary& s,
     if (m.commit_latency() >= 0) {
       commit.observe(sim::to_seconds(m.commit_latency()));
     }
+  }
+
+  std::vector<double> depth_buckets = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  Histogram& depth = reg.histogram("sim.queue_depth", depth_buckets);
+  for (std::uint64_t d : s.queue_depth_samples) {
+    depth.observe(static_cast<double>(d));
   }
   return reg;
 }

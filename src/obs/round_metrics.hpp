@@ -40,6 +40,10 @@ struct TraceSummary {
   std::uint64_t buffered = 0;
   std::uint64_t forwarded = 0;
   std::uint64_t retries = 0;
+  sim::SimTime retry_extra_total = 0;  // delay added by retransmissions (ns)
+  /// kQueueDepth samples (live pending events), for the --metrics
+  /// queue-depth quantiles. Sampled, so bounded by events / sample period.
+  std::vector<std::uint64_t> queue_depth_samples;
   std::uint64_t weight_splits = 0;
   std::uint64_t weight_returns = 0;
   std::uint64_t events_fired = 0;

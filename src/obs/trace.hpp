@@ -40,11 +40,19 @@ enum class TraceKind : std::uint8_t {
   kEventCancel,     // pid=-1  arg0=slot arg1=generation
   kQueueDepth,      // pid=-1  arg0=live pending  arg1=heap size (sampled)
   // ---- message path (protocol base + transports) ---------------------
-  kMsgSend,         // sub=MsgKind  aux=dst (kBroadcastDst)  arg0=id  arg1=bytes
-  kMsgDeliver,      // sub=MsgKind  aux=src  arg0=id  arg1=bytes
-  kMsgRetry,        // lan link-layer retransmission: aux=dst  arg0=id  arg1=#retries
+  // kMsgSend / kMsgDeliver pack an audit stamp into arg1's high 32 bits:
+  // the sender's (receiver's) event-log index of the message + 1 for
+  // computation messages, 0 for system messages (which are not dependency
+  // events). Low 32 bits carry the byte size. See pack_msg_stamp below.
+  kMsgSend,         // sub=MsgKind  aux=dst (kBroadcastDst)  arg0=id
+                    //   arg1=(event+1)<<32 | bytes
+  kMsgDeliver,      // sub=MsgKind  aux=src  arg0=id  arg1=(event+1)<<32 | bytes
+  kMsgRetry,        // lan link-layer retransmission: aux=dst  arg0=id
+                    //   arg1=extra delay (ns)<<8 | min(#retries, 255)
   kMsgBuffered,     // MSS buffers for a disconnected MH: sub=MsgKind  arg0=id
+                    //   aux=MSS  arg1=buffer depth after the append
   kMsgForwarded,    // handoff reroute: aux=forwarding MSS  arg0=id
+                    //   arg1=MSS the message was originally routed to
   // ---- mobility ------------------------------------------------------
   kHandoff,         // arg0=from MSS  arg1=to MSS
   kDisconnect,      // voluntary disconnection of pid
@@ -67,6 +75,9 @@ enum class TraceKind : std::uint8_t {
                     //   arg1=bit pattern of the sent weight (double)
   kWeightReturn,    // pid=initiator  aux=replier  arg0=initiation
                     //   arg1=bit pattern of the accumulated weight (double)
+  // ---- audit companion records ---------------------------------------
+  kCkptCursor,      // event-log cursor of a just-taken checkpoint:
+                    //   sub=CkptKind  arg0=ref  arg1=event cursor
   kCount
 };
 
@@ -101,9 +112,39 @@ inline const char* to_string(TraceKind k) {
     case TraceKind::kCkptDiscarded: return "ckpt-discarded";
     case TraceKind::kWeightSplit: return "weight-split";
     case TraceKind::kWeightReturn: return "weight-return";
+    case TraceKind::kCkptCursor: return "ckpt-cursor";
     case TraceKind::kCount: break;
   }
   return "?";
+}
+
+// ---- arg1 packing for the audit stamps -------------------------------
+// kMsgSend / kMsgDeliver: high 32 bits carry the event-log index of the
+// message at that endpoint, plus one (so 0 means "no stamp": a system
+// message). Low 32 bits carry the message size in bytes.
+inline constexpr std::uint64_t pack_msg_stamp(std::uint64_t event_plus1,
+                                              std::uint64_t bytes) {
+  return (event_plus1 << 32) | (bytes & 0xffffffffull);
+}
+inline constexpr std::uint64_t msg_stamp_of(std::uint64_t arg1) {
+  return arg1 >> 32;
+}
+inline constexpr std::uint64_t msg_bytes_of(std::uint64_t arg1) {
+  return arg1 & 0xffffffffull;
+}
+
+// kMsgRetry: high 56 bits carry the total extra delay the retransmissions
+// added (ns); low 8 bits the retry count, saturated at 255.
+inline constexpr std::uint64_t pack_retry(sim::SimTime extra_ns,
+                                          std::uint64_t retries) {
+  return (static_cast<std::uint64_t>(extra_ns) << 8) |
+         (retries > 255 ? 255 : retries);
+}
+inline constexpr std::uint64_t retry_count_of(std::uint64_t arg1) {
+  return arg1 & 0xff;
+}
+inline constexpr sim::SimTime retry_extra_of(std::uint64_t arg1) {
+  return static_cast<sim::SimTime>(arg1 >> 8);
 }
 
 /// One trace record: 32 bytes, trivially copyable — written to disk raw

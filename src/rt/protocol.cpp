@@ -60,8 +60,11 @@ void CheckpointProtocol::send_computation(ProcessId dst) {
   }
   if (ctx_.timing->use_wire_sizes) m.size_bytes = honest;
   m.id = ctx_.log->record_send(ctx_.self, dst, m.sent_at);
+  // cursor() just advanced past this send, so it equals send_event + 1 —
+  // exactly the audit stamp convention (0 is reserved for system messages).
   trace(ctx_, obs::TraceKind::kMsgSend, static_cast<std::uint8_t>(m.kind),
-        static_cast<std::uint16_t>(dst), m.id, m.size_bytes);
+        static_cast<std::uint16_t>(dst), m.id,
+        obs::pack_msg_stamp(ctx_.log->cursor(ctx_.self), m.size_bytes));
   ++ctx_.stats->msgs_sent[static_cast<int>(m.kind)];
   ctx_.stats->bytes_sent[static_cast<int>(m.kind)] += m.size_bytes;
   if (ctx_.timing->record_wire_bytes || ctx_.timing->use_wire_sizes) {
@@ -75,8 +78,16 @@ void CheckpointProtocol::send_computation(ProcessId dst) {
 }
 
 void CheckpointProtocol::on_deliver(const Message& m) {
+  // A computation message is processed synchronously below and nothing
+  // advances the event cursor in between (forced checkpoints do not log
+  // events), so the receive-event index it will be logged under is the
+  // current cursor; stamp it (+1) for the offline auditor.
+  const std::uint64_t recv_stamp = m.kind == MsgKind::kComputation
+                                       ? ctx_.log->cursor(ctx_.self) + 1
+                                       : 0;
   trace(ctx_, obs::TraceKind::kMsgDeliver, static_cast<std::uint8_t>(m.kind),
-        static_cast<std::uint16_t>(m.src), m.id, m.size_bytes);
+        static_cast<std::uint16_t>(m.src), m.id,
+        obs::pack_msg_stamp(recv_stamp, m.size_bytes));
   ++ctx_.stats->deliveries;
   stats::ProcessEnergy& e =
       ctx_.stats->energy.per_process[static_cast<std::size_t>(ctx_.self)];

@@ -46,6 +46,54 @@ void Weight::add(const Weight& other) {
   trim();
 }
 
+bool Weight::try_subtract(const Weight& other) {
+  if (compare(other) < 0) return false;
+  if (&other == this) {
+    int_ = 0;
+    frac_.clear();
+    return true;
+  }
+  if (other.frac_.size() > frac_.size()) frac_.resize(other.frac_.size(), 0);
+  // Subtract fractional limbs from least significant (highest index)
+  // upward, propagating the borrow into the integer part.
+  std::uint64_t borrow = 0;
+  for (std::size_t i = frac_.size(); i-- > 0;) {
+    std::uint64_t rhs = i < other.frac_.size() ? other.frac_[i] : 0;
+    std::uint64_t d1 = frac_[i] - rhs;
+    std::uint64_t b1 = frac_[i] < rhs ? 1u : 0u;
+    std::uint64_t d2 = d1 - borrow;
+    std::uint64_t b2 = d1 < borrow ? 1u : 0u;
+    frac_[i] = d2;
+    borrow = b1 + b2;  // at most one of b1/b2 is set
+  }
+  MCK_ASSERT(int_ >= other.int_ + borrow);
+  int_ -= other.int_ + borrow;
+  trim();
+  return true;
+}
+
+Weight Weight::from_double_bits(std::uint64_t bits) {
+  MCK_ASSERT_MSG((bits >> 63) == 0, "weights are non-negative");
+  std::uint64_t biased = (bits >> 52) & 0x7ff;
+  std::uint64_t mantissa = bits & ((1ull << 52) - 1);
+  MCK_ASSERT_MSG(biased != 0x7ff, "inf/nan is not a weight");
+  if (biased == 0) {
+    if (mantissa == 0) return Weight();
+    biased = 1;  // subnormal: same exponent as the smallest normal
+  } else {
+    mantissa |= 1ull << 52;
+  }
+  // value == mantissa * 2^(biased - 1075)
+  int exp = static_cast<int>(biased) - 1075;
+  if (exp >= 0) {
+    MCK_ASSERT_MSG(exp <= 10, "weight exceeds the 64-bit integer part");
+    return Weight(mantissa << exp);
+  }
+  Weight w(mantissa);
+  for (int i = 0; i < -exp; ++i) w.halve();
+  return w;
+}
+
 bool Weight::is_zero() const { return int_ == 0 && frac_.empty(); }
 
 bool Weight::is_one() const { return int_ == 1 && frac_.empty(); }

@@ -37,6 +37,12 @@ class Weight {
   /// Adds `other` into this weight exactly.
   void add(const Weight& other);
 
+  /// Subtracts `other` exactly. Returns false (leaving the value
+  /// unchanged) if `other` is larger — the caller decides whether an
+  /// underflow is an error (the trace auditor reports it as a forged
+  /// weight rather than crashing).
+  bool try_subtract(const Weight& other);
+
   bool is_zero() const;
   bool is_one() const;
 
@@ -63,6 +69,13 @@ class Weight {
     w.trim();
     return w;
   }
+
+  /// Reconstructs the exact dyadic value of a finite non-negative double
+  /// from its IEEE-754 bit pattern. Trace records store weights this way
+  /// (every protocol weight is a dyadic rational, so the round-trip
+  /// through double is lossy only past 53 significant bits; the auditor
+  /// checks conservation of what was actually recorded).
+  static Weight from_double_bits(std::uint64_t bits);
 
   /// Hex rendering "int.frac0frac1..." for debugging.
   std::string to_string() const;

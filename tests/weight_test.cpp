@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <random>
 #include <vector>
 
@@ -158,6 +159,67 @@ TEST(Weight, ToStringRendersHexFraction) {
   Weight w = Weight::one();
   w.halve();
   EXPECT_EQ(w.to_string(), "0.8000000000000000");
+}
+
+TEST(Weight, TrySubtractExactAndRefusesUnderflow) {
+  Weight w = Weight::one();
+  Weight half = Weight::one();
+  half.halve();
+  ASSERT_TRUE(w.try_subtract(half));
+  EXPECT_EQ(w, half);
+
+  // Underflow leaves the value untouched and reports failure.
+  Weight before = w;
+  Weight bigger = Weight::one();
+  EXPECT_FALSE(w.try_subtract(bigger));
+  EXPECT_EQ(w, before);
+
+  // Self-subtraction reaches exactly zero.
+  ASSERT_TRUE(w.try_subtract(before));
+  EXPECT_TRUE(w.is_zero());
+}
+
+TEST(Weight, TrySubtractBorrowsAcrossLimbs) {
+  // 1 - 2^-100 needs a borrow chain through the integer part and the
+  // first fractional limb into the second.
+  Weight tiny = Weight::one();
+  for (int i = 0; i < 100; ++i) tiny.halve();
+  Weight w = Weight::one();
+  ASSERT_TRUE(w.try_subtract(tiny));
+  Weight sum = w;
+  sum.add(tiny);
+  EXPECT_TRUE(sum.is_one()) << sum.to_string();
+  EXPECT_FALSE(w.is_one());
+}
+
+TEST(Weight, FromDoubleBitsRoundTripsProtocolWeights) {
+  // Every weight a protocol can record (repeated exact halvings of 1,
+  // and sums thereof) must reconstruct exactly from its double bits as
+  // long as it fits in 53 significant bits.
+  Weight w = Weight::one();
+  for (int depth = 0; depth < 50; ++depth) {
+    Weight back =
+        Weight::from_double_bits(std::bit_cast<std::uint64_t>(w.to_double()));
+    EXPECT_EQ(back, w) << "depth " << depth;
+    w.halve();
+  }
+  EXPECT_TRUE(Weight::from_double_bits(std::bit_cast<std::uint64_t>(0.0))
+                  .is_zero());
+  EXPECT_TRUE(Weight::from_double_bits(std::bit_cast<std::uint64_t>(1.0))
+                  .is_one());
+  // A mixed sum: 1/2 + 1/8 + 1/2^40.
+  Weight mixed = Weight::zero();
+  Weight term = Weight::one();
+  term.halve();
+  mixed.add(term);  // 1/2
+  term.halve();
+  term.halve();
+  mixed.add(term);  // + 1/8
+  for (int i = 3; i < 40; ++i) term.halve();
+  mixed.add(term);  // + 2^-40
+  Weight back = Weight::from_double_bits(
+      std::bit_cast<std::uint64_t>(mixed.to_double()));
+  EXPECT_EQ(back, mixed) << back.to_string();
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+// mckaudit — offline audit of flight-recorder traces (mcksim --trace).
+//
+//   mckaudit check FILE
+//   mckaudit report FILE [--json] [--out OUT]
+//
+// check prints the verdict summary and exits 1 if any violation was found.
+// report adds the per-round critical-path attribution table (wire / retry /
+// MSS-buffer / participant / initiator-wait time per committed round);
+// --json emits the machine-readable document instead (schema in
+// EXPERIMENTS.md, "Auditing a run").
+//
+// The auditor shares no code with the system under test beyond the trace
+// schema: it re-derives happens-before, the committed lines (trace-level
+// Theorem 1), weight conservation, checkpoint lifecycle legality, and the
+// blocking discipline from the records alone.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/audit.hpp"
+#include "obs/trace_io.hpp"
+
+using namespace mck;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: mckaudit COMMAND FILE [options]\n"
+               "  check FILE          audit, print the verdict summary\n"
+               "  report FILE         verdict + per-round critical-path table\n"
+               "    --json            machine-readable JSON instead\n"
+               "    --out OUT         write to OUT instead of stdout\n"
+               "exit status: 0 clean, 1 violations found, 2 usage error\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  std::string cmd = argv[1];
+  std::string path = argv[2];
+  bool json = false;
+  std::string out_path;
+
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--out" || arg == "-o") {
+      if (i + 1 >= argc) usage("missing value");
+      out_path = argv[++i];
+    } else {
+      usage(("unknown option: " + arg).c_str());
+    }
+  }
+  if (cmd != "check" && cmd != "report") {
+    usage(("unknown command: " + cmd).c_str());
+  }
+
+  std::string err;
+  std::optional<obs::TraceFile> f = obs::read_trace_file(path, &err);
+  if (!f) {
+    std::fprintf(stderr, "mckaudit: %s\n", err.c_str());
+    return 2;
+  }
+
+  obs::AuditReport report = obs::audit_file(*f);
+  std::string text = cmd == "check"
+                         ? obs::render_report(report, false)
+                         : json ? obs::report_json(report, &f->meta)
+                                : obs::render_report(report, true);
+
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "mckaudit: cannot open %s\n", out_path.c_str());
+      return 2;
+    }
+  }
+  std::fprintf(out, "%s", text.c_str());
+  if (out != stdout) {
+    std::fclose(out);
+    // Still tell the terminal what the verdict was.
+    std::fprintf(stderr, "mckaudit: %s (%zu violation(s)) -> %s\n",
+                 report.ok() ? "OK" : "FAIL", report.violations.size(),
+                 out_path.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}

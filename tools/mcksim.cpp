@@ -5,7 +5,7 @@
 //          [--reps R] [--jobs N] [--transport lan|cellular]
 //          [--shared-medium] [--commit broadcast|update|hybrid]
 //          [--wire-sizes] [--wire-fidelity] [--csv]
-//          [--trace FILE] [--metrics] [--log-level LVL]
+//          [--trace FILE] [--metrics] [--audit] [--log-level LVL]
 //
 // Prints the paper's per-initiation metrics for one configuration;
 // --csv emits a machine-readable row instead.
@@ -15,6 +15,7 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "obs/audit.hpp"
 #include "obs/round_metrics.hpp"
 #include "obs/trace_io.hpp"
 #include "util/log.hpp"
@@ -56,6 +57,10 @@ namespace {
                "                    any --jobs)\n"
                "  --metrics         derive trace metrics: extra CSV columns,\n"
                "                    or a metrics table after the report\n"
+               "  --audit           replay the trace through the offline\n"
+               "                    auditor (stderr); exit non-zero on any\n"
+               "                    violation or if its consistency verdict\n"
+               "                    disagrees with the in-sim checker\n"
                "  --log-level LVL   off | info | trace (stderr; default off)\n");
   std::exit(2);
 }
@@ -81,6 +86,7 @@ int main(int argc, char** argv) {
   double hours = 4.0;
   std::string trace_path;
   bool metrics = false;
+  bool audit = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -153,6 +159,8 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg == "--log-level") {
       if (!util::Log::set_level(next())) usage("unknown --log-level");
     } else if (arg == "--help" || arg == "-h") {
@@ -162,9 +170,27 @@ int main(int argc, char** argv) {
     }
   }
   cfg.horizon = sim::from_seconds(hours * 3600.0);
-  cfg.capture_trace = !trace_path.empty() || metrics;
+  cfg.capture_trace = !trace_path.empty() || metrics || audit;
 
   harness::RunResult res = harness::run_replicated(cfg, reps, jobs);
+
+  // Offline audit of the captured trace: an independent verdict that must
+  // agree with the in-sim checker. stderr keeps the --csv stdout clean.
+  bool audit_failed = false;
+  if (audit) {
+    obs::AuditReport audit_report =
+        obs::audit_runs(res.traces, cfg.sys.num_processes);
+    std::fprintf(stderr, "%s", obs::render_report(audit_report, false).c_str());
+    if (audit_report.consistent() != res.consistent) {
+      std::fprintf(stderr,
+                   "mcksim: AUDIT DISAGREEMENT: trace replay says %s, in-sim "
+                   "checker says %s\n",
+                   audit_report.consistent() ? "consistent" : "inconsistent",
+                   res.consistent ? "consistent" : "inconsistent");
+      audit_failed = true;
+    }
+    if (!audit_report.ok()) audit_failed = true;
+  }
 
   if (!trace_path.empty()) {
     obs::TraceFileMeta meta;
@@ -235,7 +261,7 @@ int main(int argc, char** argv) {
                   sim::to_seconds(summary.blocked_total));
     }
     std::printf("\n");
-    return res.consistent ? 0 : 1;
+    return res.consistent && !audit_failed ? 0 : 1;
   }
 
   std::printf("mcksim: %s, N=%d, rate=%g msg/s, interval=%gs, %.1fh x %d reps\n\n",
@@ -289,5 +315,5 @@ int main(int argc, char** argv) {
                 (unsigned long long)summary.total, res.traces.size(),
                 reg.render().c_str());
   }
-  return res.consistent ? 0 : 1;
+  return res.consistent && !audit_failed ? 0 : 1;
 }

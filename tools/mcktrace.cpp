@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ckpt/store.hpp"
+#include "obs/graph.hpp"
 #include "obs/round_metrics.hpp"
 #include "obs/trace_io.hpp"
 #include "rt/message.hpp"
@@ -95,34 +96,41 @@ std::string detail(const obs::TraceRecord& r) {
                     (unsigned long long)r.arg0, (unsigned long long)r.arg1);
       break;
     case K::kMsgSend:
-      if (r.aux == obs::kBroadcastDst) {
-        std::snprintf(buf, sizeof(buf), "%s id=%llu dst=* bytes=%llu",
-                      msg_kind_name(r.sub), (unsigned long long)r.arg0,
-                      (unsigned long long)r.arg1);
+    case K::kMsgDeliver: {
+      char peer[24];
+      if (k == K::kMsgSend && r.aux == obs::kBroadcastDst) {
+        std::snprintf(peer, sizeof(peer), "dst=*");
       } else {
-        std::snprintf(buf, sizeof(buf), "%s id=%llu dst=%u bytes=%llu",
-                      msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
-                      (unsigned long long)r.arg1);
+        std::snprintf(peer, sizeof(peer), "%s=%u",
+                      k == K::kMsgSend ? "dst" : "src", r.aux);
       }
+      char ev[32];
+      ev[0] = '\0';
+      if (obs::msg_stamp_of(r.arg1) != 0) {
+        std::snprintf(ev, sizeof(ev), " ev=%llu",
+                      (unsigned long long)(obs::msg_stamp_of(r.arg1) - 1));
+      }
+      std::snprintf(buf, sizeof(buf), "%s id=%llu %s bytes=%llu%s",
+                    msg_kind_name(r.sub), (unsigned long long)r.arg0, peer,
+                    (unsigned long long)obs::msg_bytes_of(r.arg1), ev);
       break;
-    case K::kMsgDeliver:
-      std::snprintf(buf, sizeof(buf), "%s id=%llu src=%u bytes=%llu",
-                    msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
-                    (unsigned long long)r.arg1);
-      break;
+    }
     case K::kMsgRetry:
-      std::snprintf(buf, sizeof(buf), "%s id=%llu dst=%u retries=%llu",
+      std::snprintf(buf, sizeof(buf), "%s id=%llu dst=%u retries=%llu "
+                    "extra=%.6fs",
                     msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
-                    (unsigned long long)r.arg1);
+                    (unsigned long long)obs::retry_count_of(r.arg1),
+                    sim::to_seconds(obs::retry_extra_of(r.arg1)));
       break;
     case K::kMsgBuffered:
-      std::snprintf(buf, sizeof(buf), "%s id=%llu at-mss=%u",
-                    msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux);
+      std::snprintf(buf, sizeof(buf), "%s id=%llu at-mss=%u depth=%llu",
+                    msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
+                    (unsigned long long)r.arg1);
       break;
     case K::kMsgForwarded:
       std::snprintf(buf, sizeof(buf), "%s id=%llu mss=%u->%llu",
-                    msg_kind_name(r.sub), (unsigned long long)r.arg1, r.aux,
-                    (unsigned long long)r.arg0);
+                    msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
+                    (unsigned long long)r.arg1);
       break;
     case K::kHandoff:
       std::snprintf(buf, sizeof(buf), "mss=%llu->%llu",
@@ -179,6 +187,11 @@ std::string detail(const obs::TraceRecord& r) {
                     init_name(r.arg0).c_str(), r.aux,
                     bits_to_double(r.arg1));
       break;
+    case K::kCkptCursor:
+      std::snprintf(buf, sizeof(buf), "%s ref=%llu cursor=%llu",
+                    ckpt_kind_name(r.sub), (unsigned long long)r.arg0,
+                    (unsigned long long)r.arg1);
+      break;
     case K::kCount:
       buf[0] = '\0';
       break;
@@ -225,7 +238,8 @@ int cmd_stats(const obs::TraceFile& f) {
 // which would dwarf everything else): queue depth becomes a counter track,
 // block/unblock become complete spans, checkpoint rounds become async
 // begin/end pairs, everything else an instant. pid = replication,
-// tid = process.
+// tid = process. Matched send -> deliver pairs additionally get flow
+// arrows ("s"/"f" phases), one per recipient for broadcasts.
 
 double to_us(sim::SimTime t) { return static_cast<double>(t) / 1000.0; }
 
@@ -263,6 +277,20 @@ int cmd_export_chrome(const obs::TraceFile& f, const std::string& out_path) {
   };
 
   for (const obs::TraceRun& run : f.runs) {
+    // Flow arrows for every matched (send, deliver) pair of this rep.
+    // Ids are strings scoped by rep + message id + recipient so that a
+    // broadcast fans out into one arrow per destination.
+    obs::CausalGraph g = obs::build_graph(run.records, f.meta.num_processes);
+    for (const obs::MsgHop& h : g.hops) {
+      emit("{\"ph\":\"s\",\"cat\":\"msg\",\"name\":\"%s\","
+           "\"id\":\"r%d.m%llu.d%d\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f}",
+           msg_kind_name(h.kind), run.rep, (unsigned long long)h.id, h.dst,
+           run.rep, h.src, to_us(h.sent_at));
+      emit("{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"msg\",\"name\":\"%s\","
+           "\"id\":\"r%d.m%llu.d%d\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f}",
+           msg_kind_name(h.kind), run.rep, (unsigned long long)h.id, h.dst,
+           run.rep, h.dst, to_us(h.delivered_at));
+    }
     for (const obs::TraceRecord& r : run.records) {
       using K = obs::TraceKind;
       auto k = static_cast<K>(r.kind);
