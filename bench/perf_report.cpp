@@ -32,10 +32,12 @@
 #include <functional>
 #include <memory>
 #include <new>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "harness/experiment.hpp"
+#include "harness/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "core/payloads.hpp"
 #include "util/pool.hpp"
@@ -312,6 +314,50 @@ SimThroughput measure_sim_throughput(bool quick) {
           static_cast<double>(res.stats.deliveries) / dt, horizon_s};
 }
 
+// Within-run sharded speedup: the same single replication run with one
+// worker lane vs as many lanes as the host offers. On a one-CPU container
+// this verifies determinism and measures windowing overhead rather than
+// scaling — the row reports whatever the host gives it, and the outputs
+// must match exactly either way.
+struct ShardedPerf {
+  int lanes;
+  double serial_s;
+  double sharded_s;
+  double speedup;
+};
+
+ShardedPerf measure_sharded(bool quick) {
+  harness::ExperimentConfig cfg;
+  cfg.sys.algorithm = harness::Algorithm::kCaoSinghal;
+  cfg.sys.num_processes = 16;
+  cfg.sys.seed = 1000;
+  cfg.workload = harness::WorkloadKind::kPointToPoint;
+  cfg.rate = 0.1;
+  cfg.ckpt_interval = sim::seconds(900);
+  cfg.horizon = sim::seconds(quick ? 3600 : 4 * 3600);
+
+  unsigned hw = std::thread::hardware_concurrency();
+  int lanes = static_cast<int>(std::min(hw > 1 ? hw : 4u, 8u));
+
+  harness::run_sharded_experiment(cfg, 1);  // fault in code paths
+  Clock::time_point t0 = Clock::now();
+  harness::RunResult serial = harness::run_sharded_experiment(cfg, 1);
+  double serial_s = secs_since(t0);
+  t0 = Clock::now();
+  harness::RunResult sharded = harness::run_sharded_experiment(cfg, lanes);
+  double sharded_s = secs_since(t0);
+
+  if (serial.initiations != sharded.initiations ||
+      serial.comp_msgs != sharded.comp_msgs ||
+      serial.committed != sharded.committed) {
+    std::fprintf(stderr,
+                 "perf_report: sharded run diverged from 1-lane run\n");
+    std::exit(1);
+  }
+  return {lanes, serial_s, sharded_s,
+          sharded_s > 0 ? serial_s / sharded_s : 0.0};
+}
+
 void usage() {
   std::fprintf(stderr, "usage: perf_report [--quick] [--out PATH]\n");
 }
@@ -381,6 +427,11 @@ int main(int argc, char** argv) {
               "%.0f deliveries/s\n",
               st.sim_seconds_per_wall_second, st.events_per_sec);
 
+  ShardedPerf sp = measure_sharded(quick);
+  std::printf("sharded run: 1 lane %.2fs, %d lanes %.2fs, "
+              "within-run speedup %.2fx (outputs identical)\n",
+              sp.serial_s, sp.lanes, sp.sharded_s, sp.speedup);
+
   std::FILE* f = std::fopen(out_path, "w");
   if (!f) {
     std::fprintf(stderr, "perf_report: cannot write %s\n", out_path);
@@ -406,12 +457,19 @@ int main(int argc, char** argv) {
                "    \"workload\": \"cao_singhal n=16 rate=0.1 p2p, horizon %.0fs\",\n"
                "    \"sim_seconds_per_wall_second\": %.1f,\n"
                "    \"deliveries_per_sec\": %.1f\n"
+               "  },\n"
+               "  \"sharded\": {\n"
+               "    \"lanes\": %d,\n"
+               "    \"serial_wall_s\": %.3f,\n"
+               "    \"sharded_wall_s\": %.3f,\n"
+               "    \"within_run_speedup\": %.3f\n"
                "  }\n"
                "}\n",
                quick ? "true" : "false", pending,
                static_cast<unsigned long long>(events), cur_eps, leg_eps,
                speedup, cur_ape, leg_ape, pooled_apm, fresh_apm, st.horizon_s,
-               st.sim_seconds_per_wall_second, st.events_per_sec);
+               st.sim_seconds_per_wall_second, st.events_per_sec, sp.lanes,
+               sp.serial_s, sp.sharded_s, sp.speedup);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
 

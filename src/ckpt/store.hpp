@@ -98,6 +98,26 @@ class CheckpointStore {
     }
   }
 
+  /// Sharded mode: this store serves one region and hands out refs from
+  /// the interleaved sequence ref_base, ref_base+stride, ... — globally
+  /// unique across regions and independent of the shard count. Only the
+  /// region's own processes get their implicit initial checkpoint here
+  /// (by_process_ is still sized for all processes so pid-indexed
+  /// accessors keep working on the merged views).
+  CheckpointStore(int num_processes, const std::vector<ProcessId>& owned,
+                  CkptRef ref_base, CkptRef ref_stride)
+      : by_process_(static_cast<std::size_t>(num_processes)),
+        ref_base_(ref_base),
+        ref_stride_(ref_stride) {
+    MCK_ASSERT(ref_stride_ >= 1 && ref_base_ < ref_stride_);
+    for (ProcessId p : owned) {
+      CheckpointRecord rec;
+      rec.pid = p;
+      rec.kind = CkptKind::kInitial;
+      intern(rec);
+    }
+  }
+
   int num_processes() const { return static_cast<int>(by_process_.size()); }
 
   /// Attaches a flight recorder (null = off): every take / promote /
@@ -130,10 +150,7 @@ class CheckpointStore {
     return ref;
   }
 
-  const CheckpointRecord& get(CkptRef ref) const {
-    MCK_ASSERT(ref < all_.size());
-    return all_[ref];
-  }
+  const CheckpointRecord& get(CkptRef ref) const { return all_[idx(ref)]; }
 
   /// Mutable or disconnect checkpoint is flushed to stable storage.
   void promote_to_tentative(CkptRef ref, InitiationId initiation,
@@ -179,7 +196,7 @@ class CheckpointStore {
   std::size_t stable_live_at(ProcessId pid, sim::SimTime t) const {
     std::size_t n = 0;
     for (CkptRef ref : of_process(pid)) {
-      const CheckpointRecord& rec = all_[ref];
+      const CheckpointRecord& rec = all_[idx(ref)];
       if (rec.kind != CkptKind::kTentative && rec.kind != CkptKind::kPermanent)
         continue;
       if (rec.taken_at > t) continue;
@@ -234,7 +251,7 @@ class CheckpointStore {
   sim::SimTime last_stable_taken_at(ProcessId pid) const {
     sim::SimTime last = 0;
     for (CkptRef ref : of_process(pid)) {
-      const CheckpointRecord& rec = all_[ref];
+      const CheckpointRecord& rec = all_[idx(ref)];
       if (rec.discarded) continue;
       if (rec.kind != CkptKind::kTentative && rec.kind != CkptKind::kPermanent)
         continue;
@@ -253,10 +270,16 @@ class CheckpointStore {
   }
 
  private:
-  CheckpointRecord& mut(CkptRef ref) {
-    MCK_ASSERT(ref < all_.size());
-    return all_[ref];
+  /// Slot of `ref` in all_. In the default (unsharded) namespace this is
+  /// the identity; a region store inverts its interleaved ref sequence.
+  std::size_t idx(CkptRef ref) const {
+    MCK_ASSERT(ref >= ref_base_ && (ref - ref_base_) % ref_stride_ == 0);
+    std::size_t i = (ref - ref_base_) / ref_stride_;
+    MCK_ASSERT(i < all_.size());
+    return i;
   }
+
+  CheckpointRecord& mut(CkptRef ref) { return all_[idx(ref)]; }
 
   /// A new permanent checkpoint supersedes older permanents of the same
   /// process: their stable storage is reclaimed (Section 3.3.4's garbage
@@ -265,7 +288,7 @@ class CheckpointStore {
   void garbage_collect(ProcessId pid, CkptRef keep, sim::SimTime at) {
     for (CkptRef ref : of_process(pid)) {
       if (ref == keep) continue;
-      CheckpointRecord& rec = all_[ref];
+      CheckpointRecord& rec = all_[idx(ref)];
       if (rec.kind == CkptKind::kPermanent && rec.gc_at < 0) {
         rec.gc_at = at;
       }
@@ -278,7 +301,7 @@ class CheckpointStore {
   }
 
   CkptRef intern(CheckpointRecord rec) {
-    rec.ref = static_cast<CkptRef>(all_.size());
+    rec.ref = ref_base_ + static_cast<CkptRef>(all_.size()) * ref_stride_;
     by_process_[static_cast<std::size_t>(rec.pid)].push_back(rec.ref);
     all_.push_back(rec);
     return rec.ref;
@@ -289,6 +312,8 @@ class CheckpointStore {
   std::size_t peak_occupancy_ = 0;
   bool auto_gc_ = false;
   obs::Tracer* tracer_ = nullptr;
+  CkptRef ref_base_ = 0;
+  CkptRef ref_stride_ = 1;
 };
 
 }  // namespace mck::ckpt

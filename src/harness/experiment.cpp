@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "harness/sharded.hpp"
 #include "util/assert.hpp"
 #include "workload/traffic.hpp"
 
@@ -113,7 +114,30 @@ RunResult run_experiment(const ExperimentConfig& config) {
       system.stats().msgs_sent[static_cast<int>(rt::MsgKind::kComputation)];
   result.forced_checkpoints = system.stats().forced_by_message;
 
-  for (const ckpt::InitiationStats* st : system.tracker().in_order()) {
+  aggregate_initiations(result, system.tracker().in_order());
+
+  if (has_committed_lines(config.sys.algorithm)) {
+    ckpt::CheckResult check = system.check_consistency();
+    result.consistent = check.consistent;
+    result.orphans = check.orphans.size();
+    result.lines_checked = check.lines_checked;
+    MCK_ASSERT_MSG(check.consistent,
+                   "committed global checkpoint line has orphan messages");
+  }
+
+  if (config.capture_trace) {
+    obs::TraceRun run;
+    run.rep = 0;  // re-stamped by run_replicated
+    run.seed = sys_opts.seed;
+    run.records = tracer.take_records();
+    result.traces.push_back(std::move(run));
+  }
+  return result;
+}
+
+void aggregate_initiations(
+    RunResult& result, const std::vector<const ckpt::InitiationStats*>& inits) {
+  for (const ckpt::InitiationStats* st : inits) {
     ++result.initiations;
     if (st->aborted()) {
       ++result.aborted;
@@ -136,27 +160,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     result.duplicate_requests_per_init.add(
         static_cast<double>(st->duplicate_requests));
   }
-
-  if (has_committed_lines(config.sys.algorithm)) {
-    ckpt::CheckResult check = system.check_consistency();
-    result.consistent = check.consistent;
-    result.orphans = check.orphans.size();
-    result.lines_checked = check.lines_checked;
-    MCK_ASSERT_MSG(check.consistent,
-                   "committed global checkpoint line has orphan messages");
-  }
-
-  if (config.capture_trace) {
-    obs::TraceRun run;
-    run.rep = 0;  // re-stamped by run_replicated
-    run.seed = sys_opts.seed;
-    run.records = tracer.take_records();
-    result.traces.push_back(std::move(run));
-  }
-  return result;
 }
-
-namespace {
 
 // SplitMix64 finalizer (Steele/Lea/Flood, JPDC 2014): a bijective 64-bit
 // mix whose outputs pass BigCrush even on consecutive inputs.
@@ -166,8 +170,6 @@ std::uint64_t splitmix64(std::uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
-
-}  // namespace
 
 std::uint64_t replication_seed(std::uint64_t base, int rep) {
   MCK_ASSERT(rep >= 0);
@@ -188,9 +190,20 @@ int resolve_jobs(int jobs) {
   return 1;
 }
 
-RunResult run_replicated(ExperimentConfig config, int reps, int jobs) {
+int resolve_shards(int shards) {
+  if (shards >= 1) return shards;
+  if (const char* env = std::getenv("MCK_SHARDS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return 0;  // legacy serial engine
+}
+
+RunResult run_replicated(ExperimentConfig config, int reps, int jobs,
+                         int shards) {
   MCK_ASSERT(reps >= 0);
   jobs = resolve_jobs(jobs);
+  shards = resolve_shards(shards);
 
   // Each replication is an independent simulation (its System owns the
   // event queue, RNG, stats, and transport), so they parallelize with no
@@ -204,7 +217,8 @@ RunResult run_replicated(ExperimentConfig config, int reps, int jobs) {
       if (r >= reps) return;
       ExperimentConfig c = config;
       c.sys.seed = replication_seed(config.sys.seed, r);
-      results[static_cast<std::size_t>(r)] = run_experiment(c);
+      results[static_cast<std::size_t>(r)] =
+          shards >= 1 ? run_sharded_experiment(c, shards) : run_experiment(c);
     }
   };
 

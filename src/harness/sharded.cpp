@@ -1,0 +1,451 @@
+#include "harness/sharded.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "util/assert.hpp"
+#include "workload/traffic.hpp"
+
+namespace mck::harness {
+namespace {
+
+/// A cross-region message parked at the window barrier: fully stamped by
+/// the sending region's transport, waiting to be scheduled in the
+/// destination region. Outboxes are drained in (region index, emission
+/// order), which is fixed by the region structure — never by the shard
+/// count or thread scheduling.
+struct Envelope {
+  sim::SimTime at = 0;
+  rt::Message msg;
+  MssId routed_to = kInvalidMss;  // cellular: destination MSS
+  int dst_region = -1;
+};
+
+/// One region's complete private simulation stack. Nothing in here is
+/// touched by another region between barriers.
+struct Region {
+  sim::Simulator sim;
+  std::unique_ptr<sim::Rng> rng;
+  obs::Tracer tracer;
+  std::unique_ptr<ckpt::EventLog> log;
+  std::unique_ptr<ckpt::CheckpointStore> store;
+  ckpt::CoordinationTracker tracker;
+  rt::RunStats stats;
+  std::unique_ptr<net::LanTransport> lan;
+  std::unique_ptr<mobile::CellularTransport> cell;
+  std::vector<std::unique_ptr<rt::CheckpointProtocol>> protos;  // by pid
+  std::vector<ProcessId> owned;
+  std::vector<Envelope> outbox;
+  std::unique_ptr<workload::PointToPointWorkload> p2p;
+  std::unique_ptr<workload::GroupWorkload> grp;
+};
+
+}  // namespace
+
+RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
+  MCK_ASSERT(shards >= 1);
+  const SystemOptions& sys = config.sys;
+  MCK_ASSERT_MSG(sys.tracer == nullptr,
+                 "the sharded engine manages its own per-region tracers");
+  const int n = sys.num_processes;
+  MCK_ASSERT(n >= 2);
+  const bool lan_mode = sys.transport == TransportKind::kLan;
+  if (lan_mode) {
+    MCK_ASSERT_MSG(sys.lan.mode == net::MediumMode::kDedicated,
+                   "--shards requires a dedicated medium");
+  }
+
+  // Region granularity: per process on a LAN (each host is its own
+  // locality), per MSS cell on a cellular system (round-robin placement,
+  // matching CellularTransport's initial mss_of).
+  const int num_regions = lan_mode ? n : sys.cellular.num_mss;
+  auto region_of = [&](ProcessId p) {
+    return lan_mode ? static_cast<int>(p) : static_cast<int>(p % num_regions);
+  };
+
+  // Seed derivation: one stream for the engine-level initiation stagger,
+  // one per region — all fixed by (seed, region structure), independent
+  // of the shard count.
+  const std::uint64_t base = splitmix64(sys.seed);
+
+  const bool tracing = config.capture_trace;
+
+  std::vector<std::unique_ptr<Region>> regions;
+  regions.reserve(static_cast<std::size_t>(num_regions));
+  for (int r = 0; r < num_regions; ++r) {
+    regions.push_back(std::make_unique<Region>());
+    Region& reg = *regions.back();
+    reg.rng = std::make_unique<sim::Rng>(
+        splitmix64(base + static_cast<std::uint64_t>(r) + 1));
+    for (ProcessId p = 0; p < n; ++p) {
+      if (region_of(p) == r) reg.owned.push_back(p);
+    }
+    reg.log = std::make_unique<ckpt::EventLog>(n);
+    reg.log->set_region_namespace(r, num_regions);
+    reg.store = std::make_unique<ckpt::CheckpointStore>(
+        n, reg.owned, static_cast<ckpt::CkptRef>(r),
+        static_cast<ckpt::CkptRef>(num_regions));
+    reg.store->set_auto_gc(has_committed_lines(sys.algorithm));
+
+    obs::Tracer* tracer = nullptr;
+    if (tracing) {
+      reg.tracer.enable(config.trace_mask);
+      tracer = &reg.tracer;
+    }
+    reg.sim.set_tracer(tracer);
+    reg.store->set_tracer(tracer);
+    reg.tracker.set_tracer(tracer);
+
+    std::vector<std::uint8_t> owned_map(static_cast<std::size_t>(n), 0);
+    for (ProcessId p : reg.owned) owned_map[static_cast<std::size_t>(p)] = 1;
+
+    Region* rp = &reg;
+    if (lan_mode) {
+      reg.lan = std::make_unique<net::LanTransport>(reg.sim, n, sys.lan,
+                                                    reg.rng.get());
+      reg.lan->set_tracer(tracer);
+      reg.lan->set_shard_region(
+          std::move(owned_map), [rp](sim::SimTime at, rt::Message msg) {
+            Envelope e;
+            e.at = at;
+            e.dst_region = static_cast<int>(msg.dst);
+            e.msg = std::move(msg);
+            rp->outbox.push_back(std::move(e));
+          });
+    } else {
+      reg.cell = std::make_unique<mobile::CellularTransport>(reg.sim, n,
+                                                             sys.cellular);
+      reg.cell->set_tracer(tracer);
+      for (ProcessId p : reg.owned) MCK_ASSERT(reg.cell->mss_of(p) == r);
+      reg.cell->set_shard_region(
+          std::move(owned_map),
+          [rp](sim::SimTime at, rt::Message msg, MssId routed_to) {
+            Envelope e;
+            e.at = at;
+            e.routed_to = routed_to;
+            e.dst_region = static_cast<int>(routed_to);
+            e.msg = std::move(msg);
+            rp->outbox.push_back(std::move(e));
+          });
+    }
+    rt::Transport& transport = lan_mode
+                                   ? static_cast<rt::Transport&>(*reg.lan)
+                                   : static_cast<rt::Transport&>(*reg.cell);
+    if (sys.wire_fidelity) {
+      transport.set_wire_fidelity(core::universal_codec());
+    }
+
+    reg.protos.resize(static_cast<std::size_t>(n));
+    for (ProcessId p : reg.owned) {
+      std::unique_ptr<rt::CheckpointProtocol> proto =
+          make_protocol(sys.algorithm, sys.cs);
+      rt::ProcessContext ctx;
+      ctx.self = p;
+      ctx.num_processes = n;
+      ctx.sim = &reg.sim;
+      ctx.net = &transport;
+      ctx.log = reg.log.get();
+      ctx.store = reg.store.get();
+      ctx.tracker = &reg.tracker;
+      ctx.stats = &reg.stats;
+      ctx.timing = &sys.timing;
+      ctx.codec = core::universal_codec();
+      ctx.tracer = tracer;
+      proto->bind(ctx);
+      reg.protos[static_cast<std::size_t>(p)] = std::move(proto);
+    }
+    for (ProcessId p : reg.owned) {
+      rt::CheckpointProtocol* raw = reg.protos[static_cast<std::size_t>(p)].get();
+      start_protocol(sys.algorithm, *raw);
+      auto sink = [raw](const rt::Message& m) { raw->on_deliver(m); };
+      if (reg.lan) {
+        reg.lan->set_sink(p, sink);
+      } else {
+        reg.cell->set_sink(p, sink);
+      }
+    }
+
+    // Workload, driving only the region's own processes from the region's
+    // RNG stream. Destinations still range over all n processes.
+    workload::SendFn send = [rp](ProcessId src, ProcessId dst) {
+      rp->protos[static_cast<std::size_t>(src)]->send_computation(dst);
+    };
+    if (config.workload == WorkloadKind::kPointToPoint) {
+      reg.p2p = std::make_unique<workload::PointToPointWorkload>(
+          reg.sim, *reg.rng, n, config.rate, send);
+      reg.p2p->start(config.horizon, reg.owned);
+    } else {
+      reg.grp = std::make_unique<workload::GroupWorkload>(
+          reg.sim, *reg.rng, n, config.groups, config.rate, config.group_ratio,
+          send);
+      reg.grp->start(config.horizon, reg.owned);
+    }
+  }
+
+  // Conservative lookahead: the minimum latency of any cross-region
+  // message. Strictly positive by construction — this is what makes the
+  // safe window non-empty.
+  const sim::SimTime lookahead = lan_mode ? regions[0]->lan->min_cross_delay()
+                                          : regions[0]->cell->min_cross_delay();
+  MCK_ASSERT_MSG(lookahead > 0, "sharded engine needs positive lookahead");
+
+  // Engine-side initiation scheduling (the sharded counterpart of
+  // CheckpointScheduler): per-process due-times, processed exhaustively
+  // at every window barrier against barrier-frozen region state.
+  const sim::SimTime interval = config.ckpt_interval;
+  const sim::SimTime retry_delay = sim::seconds(5);
+  MCK_ASSERT(interval > lookahead && retry_delay > lookahead);
+  sim::Rng sched_rng(splitmix64(base));
+  std::vector<sim::SimTime> due(static_cast<std::size_t>(n), sim::kTimeNever);
+  for (ProcessId p = 0; p < n; ++p) {
+    sim::SimTime first = interval / n * (p + 1) +
+                         sched_rng.exponential(interval / (4 * n));
+    if (first <= config.horizon) due[static_cast<std::size_t>(p)] = first;
+  }
+
+  auto next_t = [&]() {
+    sim::SimTime t = sim::kTimeNever;
+    for (auto& reg : regions) t = std::min(t, reg->sim.next_live_time());
+    for (sim::SimTime d : due) t = std::min(t, d);
+    return t;
+  };
+
+  auto any_coordination_active = [&]() {
+    for (auto& reg : regions) {
+      for (ProcessId p : reg->owned) {
+        if (reg->protos[static_cast<std::size_t>(p)]->coordination_active()) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  // Processes every initiation due before `window_end`. The interval rule
+  // strictly advances a due-time and is idempotent after one application;
+  // the serialize rule pushes it past the window (retry_delay > L); a
+  // grant schedules the initiate event inside the window and advances the
+  // due-time by one interval — so this terminates, and every due-time
+  // leaves the window or retires.
+  auto process_dues = [&](sim::SimTime window_end) {
+    bool granted = false;
+    bool active = config.serialize_initiations && any_coordination_active();
+    for (ProcessId p = 0; p < n; ++p) {
+      std::size_t i = static_cast<std::size_t>(p);
+      while (due[i] < window_end) {
+        Region& reg = *regions[static_cast<std::size_t>(region_of(p))];
+        sim::SimTime last = reg.store->last_stable_taken_at(p);
+        if (last > 0 && due[i] - last < interval) {
+          due[i] = last + interval;  // interval rule (Section 5.1)
+        } else if (config.serialize_initiations && (granted || active)) {
+          due[i] += retry_delay;  // "at most one checkpointing in progress"
+        } else {
+          granted = true;
+          rt::CheckpointProtocol* proto = reg.protos[i].get();
+          reg.sim.schedule_at(due[i], [proto]() { proto->initiate(); });
+          due[i] += interval;
+        }
+        if (due[i] > config.horizon) {
+          due[i] = sim::kTimeNever;
+          break;
+        }
+      }
+    }
+  };
+
+  // Worker lanes: region r runs on lane r % lanes. The grouping affects
+  // wall-clock only — every region's execution is independent within a
+  // window, so the produced bytes are identical for any lane count.
+  const int lanes = std::min(shards, num_regions);
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t epoch = 0;
+  int done = 0;
+  sim::SimTime run_to = 0;
+  bool quit = false;
+  std::vector<std::thread> pool;
+  if (lanes > 1) {
+    pool.reserve(static_cast<std::size_t>(lanes));
+    for (int lane = 0; lane < lanes; ++lane) {
+      pool.emplace_back([&, lane]() {
+        std::uint64_t seen = 0;
+        for (;;) {
+          sim::SimTime until;
+          {
+            std::unique_lock<std::mutex> lk(mu);
+            cv_work.wait(lk, [&]() { return quit || epoch != seen; });
+            if (quit) return;
+            seen = epoch;
+            until = run_to;
+          }
+          for (int r = lane; r < num_regions; r += lanes) {
+            regions[static_cast<std::size_t>(r)]->sim.run_until(until);
+          }
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            if (++done == lanes) cv_done.notify_one();
+          }
+        }
+      });
+    }
+  }
+  auto run_window = [&](sim::SimTime until) {
+    if (lanes <= 1) {
+      for (auto& reg : regions) reg->sim.run_until(until);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      run_to = until;
+      done = 0;
+      ++epoch;
+    }
+    cv_work.notify_all();
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv_done.wait(lk, [&]() { return done == lanes; });
+    }
+  };
+
+  // The window loop. All cross-region sends from [T, T+L) arrive at or
+  // after T+L, so running every region to T+L-1 and draining outboxes at
+  // the barrier never delivers a message into its own past.
+  for (sim::SimTime t = next_t(); t != sim::kTimeNever; t = next_t()) {
+    MCK_ASSERT(t < sim::kTimeNever - lookahead);
+    const sim::SimTime window_end = t + lookahead;
+    process_dues(window_end);
+    run_window(window_end - 1);
+    for (auto& reg : regions) {
+      for (Envelope& e : reg->outbox) {
+        MCK_ASSERT(e.at >= window_end);
+        Region& dst = *regions[static_cast<std::size_t>(e.dst_region)];
+        if (lan_mode) {
+          dst.lan->inject(e.at, std::move(e.msg));
+        } else {
+          dst.cell->inject(e.at, std::move(e.msg), e.routed_to);
+        }
+      }
+      reg->outbox.clear();
+    }
+  }
+  if (lanes > 1) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      quit = true;
+    }
+    cv_work.notify_all();
+    for (std::thread& th : pool) th.join();
+  }
+
+  for (auto& reg : regions) {
+    MCK_ASSERT_MSG(reg->sim.live_pending() == 0,
+                   "sharded experiment did not drain its event queues");
+  }
+
+  // ---- deterministic merge --------------------------------------------
+
+  RunResult result;
+  for (auto& reg : regions) {
+    RunResult part;
+    part.stats = reg->stats;
+    result.merge(part);
+  }
+  result.comp_msgs =
+      result.stats.msgs_sent[static_cast<int>(rt::MsgKind::kComputation)];
+  result.forced_checkpoints = result.stats.forced_by_message;
+
+  // Initiation stats: the opener's region carries the timestamps;
+  // participant regions carry partial counters (registered lazily with
+  // started_at 0). Counters sum, times max, line updates concatenate —
+  // then everything is canonicalized by (started_at, id).
+  std::map<ckpt::InitiationId, ckpt::InitiationStats> merged;
+  for (auto& reg : regions) {
+    for (const ckpt::InitiationStats* st : reg->tracker.in_order()) {
+      ckpt::InitiationStats& m = merged[st->id];
+      if (m.id == 0) {
+        m.id = st->id;
+        m.initiator = st->initiator;
+      }
+      m.started_at = std::max(m.started_at, st->started_at);
+      m.committed_at = std::max(m.committed_at, st->committed_at);
+      m.aborted_at = std::max(m.aborted_at, st->aborted_at);
+      m.last_request_at = std::max(m.last_request_at, st->last_request_at);
+      m.partial_commit = m.partial_commit || st->partial_commit;
+      m.participants_aborted += st->participants_aborted;
+      m.tentative += st->tentative;
+      m.mutables_taken += st->mutables_taken;
+      m.mutables_promoted += st->mutables_promoted;
+      m.mutables_discarded += st->mutables_discarded;
+      m.requests += st->requests;
+      m.replies += st->replies;
+      m.commits += st->commits;
+      m.aborts += st->aborts;
+      m.duplicate_requests += st->duplicate_requests;
+      m.blocked_time += st->blocked_time;
+      for (const auto& lu : st->line_updates) m.line_updates.push_back(lu);
+    }
+  }
+  std::vector<ckpt::InitiationStats*> ordered;
+  ordered.reserve(merged.size());
+  for (auto& [id, st] : merged) {
+    std::sort(st.line_updates.begin(), st.line_updates.end());
+    ordered.push_back(&st);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ckpt::InitiationStats* a, const ckpt::InitiationStats* b) {
+              if (a->started_at != b->started_at) {
+                return a->started_at < b->started_at;
+              }
+              return a->id < b->id;
+            });
+  ckpt::CoordinationTracker merged_tracker;
+  for (ckpt::InitiationStats* st : ordered) {
+    ckpt::InitiationStats& s =
+        merged_tracker.open(st->id, st->initiator, st->started_at);
+    s = *st;
+  }
+  aggregate_initiations(result, merged_tracker.in_order());
+
+  std::vector<const ckpt::EventLog*> parts;
+  parts.reserve(regions.size());
+  for (auto& reg : regions) parts.push_back(reg->log.get());
+  ckpt::EventLog merged_log = ckpt::EventLog::merged(parts);
+  if (has_committed_lines(sys.algorithm)) {
+    ckpt::ConsistencyChecker checker(merged_log, merged_tracker);
+    ckpt::CheckResult check = checker.check_all();
+    result.consistent = check.consistent;
+    result.orphans = check.orphans.size();
+    result.lines_checked = check.lines_checked;
+    MCK_ASSERT_MSG(check.consistent,
+                   "committed global checkpoint line has orphan messages");
+  }
+
+  if (tracing) {
+    obs::TraceRun run;
+    run.rep = 0;  // re-stamped by run_replicated
+    run.seed = sys.seed;
+    // Stable k-way merge by time: per-region streams are already
+    // time-nondecreasing, and stability breaks ties by region index —
+    // both independent of the shard count.
+    for (auto& reg : regions) {
+      std::vector<obs::TraceRecord> recs = reg->tracer.take_records();
+      run.records.insert(run.records.end(), recs.begin(), recs.end());
+    }
+    std::stable_sort(run.records.begin(), run.records.end(),
+                     [](const obs::TraceRecord& a, const obs::TraceRecord& b) {
+                       return a.at < b.at;
+                     });
+    result.traces.push_back(std::move(run));
+  }
+  return result;
+}
+
+}  // namespace mck::harness

@@ -1,0 +1,45 @@
+// Conservative sharded PDES engine: one replication, many regions.
+//
+// The simulated system is partitioned by locality into *regions* — one
+// per process on a wireless LAN, one per MSS cell on a cellular system
+// (static round-robin placement). Every region owns a complete private
+// simulation stack: event queue, RNG stream, event log, checkpoint
+// store, coordination tracker, stats, transport instance, tracer, and
+// the protocol instances of its processes. The only coupling between
+// regions is message traffic, which by construction has a strictly
+// positive minimum latency L (the *lookahead*: one-byte transmission
+// plus propagation on the LAN; uplink + backbone hop + downlink on the
+// cellular system).
+//
+// Execution advances in lock-stepped safe windows: with T the earliest
+// pending event or initiation due-time anywhere, every region may run
+// [T, T+L) independently — a cross-region message sent inside the window
+// cannot arrive before T+L. At the window barrier the engine drains each
+// region's outbox (in region-index, emission order) into the destination
+// regions and computes the next window.
+//
+// Determinism is by construction, not by synchronization discipline:
+// every region's byte stream is a pure function of the *fixed* region
+// structure and the seed. The shard count S only groups regions onto
+// worker lanes (region index mod S) — it never changes which region owns
+// what, so traces, CSVs and aggregates are byte-identical for any
+// --shards/--jobs combination. (Sharded results legitimately differ from
+// the legacy serial engine, which interleaves one global RNG and id
+// stream; --shards 1 is the canonical sharded execution.)
+//
+// Unsupported in sharded mode (asserted): shared-medium LAN contention
+// and mobility (handoff / disconnect / reconnect) — both couple regions
+// through state with zero lookahead.
+#pragma once
+
+#include "harness/experiment.hpp"
+
+namespace mck::harness {
+
+/// Runs one replication of `config` on the sharded engine with `shards`
+/// worker lanes (>= 1; 1 = serial execution of the same canonical
+/// schedule). The result — stats, aggregates, and captured trace — is
+/// byte-identical for every value of `shards`.
+RunResult run_sharded_experiment(const ExperimentConfig& config, int shards);
+
+}  // namespace mck::harness

@@ -32,6 +32,59 @@ bool has_committed_lines(Algorithm a) {
   }
 }
 
+std::unique_ptr<rt::CheckpointProtocol> make_protocol(
+    Algorithm a, const core::CaoSinghalOptions& cs) {
+  switch (a) {
+    case Algorithm::kCaoSinghal:
+      return std::make_unique<core::CaoSinghalProtocol>(cs);
+    case Algorithm::kKooToueg:
+      return std::make_unique<baselines::KooTouegProtocol>();
+    case Algorithm::kElnozahy:
+      return std::make_unique<baselines::ElnozahyProtocol>();
+    case Algorithm::kChandyLamport:
+      return std::make_unique<baselines::ChandyLamportProtocol>();
+    case Algorithm::kLaiYang:
+      return std::make_unique<baselines::LaiYangProtocol>();
+    case Algorithm::kSimpleScheme:
+      return std::make_unique<baselines::CsnSchemeProtocol>(
+          baselines::CsnSchemeKind::kSimple);
+    case Algorithm::kRevisedScheme:
+      return std::make_unique<baselines::CsnSchemeProtocol>(
+          baselines::CsnSchemeKind::kRevised);
+    case Algorithm::kUncoordinated:
+      return std::make_unique<baselines::UncoordinatedProtocol>();
+  }
+  MCK_ASSERT_MSG(false, "unknown algorithm");
+  return nullptr;
+}
+
+void start_protocol(Algorithm a, rt::CheckpointProtocol& proto) {
+  switch (a) {
+    case Algorithm::kCaoSinghal:
+      static_cast<core::CaoSinghalProtocol&>(proto).start();
+      break;
+    case Algorithm::kKooToueg:
+      static_cast<baselines::KooTouegProtocol&>(proto).start();
+      break;
+    case Algorithm::kElnozahy:
+      static_cast<baselines::ElnozahyProtocol&>(proto).start();
+      break;
+    case Algorithm::kChandyLamport:
+      static_cast<baselines::ChandyLamportProtocol&>(proto).start();
+      break;
+    case Algorithm::kLaiYang:
+      static_cast<baselines::LaiYangProtocol&>(proto).start();
+      break;
+    case Algorithm::kSimpleScheme:
+    case Algorithm::kRevisedScheme:
+      static_cast<baselines::CsnSchemeProtocol&>(proto).start();
+      break;
+    case Algorithm::kUncoordinated:
+      static_cast<baselines::UncoordinatedProtocol&>(proto).start();
+      break;
+  }
+}
+
 System::System(SystemOptions opts)
     : opts_(opts),
       rng_(opts.seed),
@@ -64,35 +117,8 @@ System::System(SystemOptions opts)
 
   protos_.reserve(static_cast<std::size_t>(opts_.num_processes));
   for (ProcessId p = 0; p < opts_.num_processes; ++p) {
-    std::unique_ptr<rt::CheckpointProtocol> proto;
-    switch (opts_.algorithm) {
-      case Algorithm::kCaoSinghal:
-        proto = std::make_unique<core::CaoSinghalProtocol>(opts_.cs);
-        break;
-      case Algorithm::kKooToueg:
-        proto = std::make_unique<baselines::KooTouegProtocol>();
-        break;
-      case Algorithm::kElnozahy:
-        proto = std::make_unique<baselines::ElnozahyProtocol>();
-        break;
-      case Algorithm::kChandyLamport:
-        proto = std::make_unique<baselines::ChandyLamportProtocol>();
-        break;
-      case Algorithm::kLaiYang:
-        proto = std::make_unique<baselines::LaiYangProtocol>();
-        break;
-      case Algorithm::kSimpleScheme:
-        proto = std::make_unique<baselines::CsnSchemeProtocol>(
-            baselines::CsnSchemeKind::kSimple);
-        break;
-      case Algorithm::kRevisedScheme:
-        proto = std::make_unique<baselines::CsnSchemeProtocol>(
-            baselines::CsnSchemeKind::kRevised);
-        break;
-      case Algorithm::kUncoordinated:
-        proto = std::make_unique<baselines::UncoordinatedProtocol>();
-        break;
-    }
+    std::unique_ptr<rt::CheckpointProtocol> proto =
+        make_protocol(opts_.algorithm, opts_.cs);
 
     rt::ProcessContext ctx;
     ctx.self = p;
@@ -113,30 +139,7 @@ System::System(SystemOptions opts)
   // Per-algorithm post-bind initialization + delivery sinks.
   for (ProcessId p = 0; p < opts_.num_processes; ++p) {
     rt::CheckpointProtocol* raw = protos_[static_cast<std::size_t>(p)].get();
-    switch (opts_.algorithm) {
-      case Algorithm::kCaoSinghal:
-        static_cast<core::CaoSinghalProtocol*>(raw)->start();
-        break;
-      case Algorithm::kKooToueg:
-        static_cast<baselines::KooTouegProtocol*>(raw)->start();
-        break;
-      case Algorithm::kElnozahy:
-        static_cast<baselines::ElnozahyProtocol*>(raw)->start();
-        break;
-      case Algorithm::kChandyLamport:
-        static_cast<baselines::ChandyLamportProtocol*>(raw)->start();
-        break;
-      case Algorithm::kLaiYang:
-        static_cast<baselines::LaiYangProtocol*>(raw)->start();
-        break;
-      case Algorithm::kSimpleScheme:
-      case Algorithm::kRevisedScheme:
-        static_cast<baselines::CsnSchemeProtocol*>(raw)->start();
-        break;
-      case Algorithm::kUncoordinated:
-        static_cast<baselines::UncoordinatedProtocol*>(raw)->start();
-        break;
-    }
+    start_protocol(opts_.algorithm, *raw);
     auto sink = [raw](const rt::Message& m) { raw->on_deliver(m); };
     if (lan_) {
       lan_->set_sink(p, sink);

@@ -45,6 +45,14 @@ const char* to_string(Algorithm a);
 /// and uncoordinated checkpointing have no committed global lines).
 bool has_committed_lines(Algorithm a);
 
+/// Constructs an unbound protocol instance for `a` (the per-pid factory
+/// behind System; the sharded harness builds regions from the same one).
+std::unique_ptr<rt::CheckpointProtocol> make_protocol(
+    Algorithm a, const core::CaoSinghalOptions& cs);
+
+/// Post-bind initialization: calls the algorithm-specific start().
+void start_protocol(Algorithm a, rt::CheckpointProtocol& proto);
+
 enum class TransportKind { kLan, kCellular };
 
 struct SystemOptions {

@@ -56,6 +56,11 @@ void CellularTransport::launch(rt::Message msg) {
   MssId src_mss = mss_of_[static_cast<std::size_t>(msg.src)];
   MssId dst_mss = mss_of_[static_cast<std::size_t>(msg.dst)];
   sim::SimTime at = sim_.now() + path_delay(src_mss, dst_mss, msg.size_bytes);
+  if (!owned_.empty() && !owned_[static_cast<std::size_t>(msg.dst)]) {
+    MCK_ASSERT(at >= sim_.now() + min_cross_delay());
+    emit_(at, std::move(msg), dst_mss);  // cross-region: the engine routes it
+    return;
+  }
   sim_.schedule_at(at, [this, m = std::move(msg), dst_mss]() mutable {
     arrive(std::move(m), dst_mss);
   });
@@ -144,6 +149,7 @@ sim::SimTime CellularTransport::transfer_bulk(ProcessId src,
 }
 
 void CellularTransport::handoff(ProcessId pid, MssId to) {
+  MCK_ASSERT_MSG(owned_.empty(), "mobility unsupported with --shards");
   MCK_ASSERT(to >= 0 && to < params_.num_mss);
   MCK_ASSERT_MSG(!is_disconnected(pid), "handoff while disconnected");
   if (mss_of_[static_cast<std::size_t>(pid)] == to) return;
@@ -158,6 +164,7 @@ void CellularTransport::handoff(ProcessId pid, MssId to) {
 }
 
 void CellularTransport::disconnect(ProcessId pid) {
+  MCK_ASSERT_MSG(owned_.empty(), "mobility unsupported with --shards");
   MCK_ASSERT(!is_disconnected(pid));
   disconnected_[static_cast<std::size_t>(pid)] = 1;
   if (tracer_ != nullptr) {
@@ -169,6 +176,7 @@ void CellularTransport::disconnect(ProcessId pid) {
 }
 
 void CellularTransport::reconnect(ProcessId pid, MssId at) {
+  MCK_ASSERT_MSG(owned_.empty(), "mobility unsupported with --shards");
   MCK_ASSERT(is_disconnected(pid));
   MCK_ASSERT(at >= 0 && at < params_.num_mss);
   disconnected_[static_cast<std::size_t>(pid)] = 0;

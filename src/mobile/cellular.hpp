@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "net/fifo.hpp"
@@ -82,6 +84,38 @@ class CellularTransport final : public rt::Transport {
 
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Sharded-mode hook (conservative PDES): this transport instance now
+  /// serves one cell's region. A message bound for a process outside
+  /// `owned` is handed to `emit` (stamped, with its final arrival time
+  /// and destination MSS) instead of being scheduled locally; the engine
+  /// routes it to the destination region, which calls inject(). Mobility
+  /// (handoff / disconnect / reconnect) is unsupported in sharded mode —
+  /// placement must stay static so ownership is well-defined.
+  using EmitFn =
+      std::function<void(sim::SimTime at, rt::Message msg, MssId routed_to)>;
+  void set_shard_region(std::vector<std::uint8_t> owned, EmitFn emit) {
+    MCK_ASSERT(owned.size() == sinks_.size());
+    owned_ = std::move(owned);
+    emit_ = std::move(emit);
+  }
+
+  /// Destination side of a cross-region message: finishes the delivery
+  /// this region's launch would have scheduled.
+  void inject(sim::SimTime at, rt::Message msg, MssId routed_to) {
+    MCK_ASSERT(at >= sim_.now());
+    sim_.schedule_at(at, [this, m = std::move(msg), routed_to]() mutable {
+      arrive(std::move(m), routed_to);
+    });
+  }
+
+  /// Lower bound on the latency of any cross-region (= cross-cell)
+  /// message: uplink + backbone hop + downlink of a one-byte frame. The
+  /// conservative lookahead.
+  sim::SimTime min_cross_delay() const {
+    return wireless_tx(1) + params_.wired_latency + wired_tx(1) +
+           wireless_tx(1);
+  }
+
  private:
   sim::SimTime wireless_tx(std::uint64_t bytes) const;
   sim::SimTime wired_tx(std::uint64_t bytes) const;
@@ -94,6 +128,8 @@ class CellularTransport final : public rt::Transport {
   CellularParams params_;
   obs::Tracer* tracer_ = nullptr;
   std::vector<rt::DeliverFn> sinks_;
+  std::vector<std::uint8_t> owned_;  // sharded mode: pids this region runs
+  EmitFn emit_;                      // sharded mode: cross-region handoff
   std::vector<MssId> mss_of_;
   std::vector<std::uint8_t> disconnected_;
   std::vector<std::deque<rt::Message>> buffer_;  // per disconnected pid

@@ -82,6 +82,11 @@ void LanTransport::deliver_at(sim::SimTime at, rt::Message msg) {
   if (!reachable(msg.dst) && !survives_endpoint_failure(msg.kind)) return;
   fifo_.stamp(msg);
   ++transmissions_;
+  if (!owned_.empty() && !owned_[static_cast<std::size_t>(msg.dst)]) {
+    MCK_ASSERT(at >= sim_.now() + min_cross_delay());
+    emit_(at, std::move(msg));  // cross-region: the engine routes it
+    return;
+  }
   sim_.schedule_at(at, [this, m = std::move(msg)]() mutable {
     arrive(std::move(m));
   });

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "net/fifo.hpp"
@@ -76,6 +78,36 @@ class LanTransport final : public rt::Transport {
 
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Sharded-mode hook (conservative PDES): this transport instance now
+  /// serves one region. A message whose destination is not in `owned` is
+  /// handed to `emit` (fully stamped, with its final arrival time)
+  /// instead of being scheduled locally; the engine routes it to the
+  /// destination region, which calls inject(). Requires kDedicated —
+  /// a shared medium couples regions through global contention state.
+  using EmitFn = std::function<void(sim::SimTime at, rt::Message msg)>;
+  void set_shard_region(std::vector<std::uint8_t> owned, EmitFn emit) {
+    MCK_ASSERT_MSG(params_.mode == MediumMode::kDedicated,
+                   "--shards requires a dedicated medium");
+    MCK_ASSERT(owned.size() == sinks_.size());
+    owned_ = std::move(owned);
+    emit_ = std::move(emit);
+  }
+
+  /// Destination side of a cross-region message: finishes the delivery
+  /// this region's deliver_at would have scheduled.
+  void inject(sim::SimTime at, rt::Message msg) {
+    MCK_ASSERT(at >= sim_.now());
+    sim_.schedule_at(at, [this, m = std::move(msg)]() mutable {
+      arrive(std::move(m));
+    });
+  }
+
+  /// Lower bound on the latency of any cross-region message: the
+  /// conservative lookahead. Every message is at least one byte.
+  sim::SimTime min_cross_delay() const {
+    return tx_time(1) + params_.propagation_delay;
+  }
+
  private:
   sim::SimTime reserve_medium(std::uint64_t bytes);
   void deliver_at(sim::SimTime at, rt::Message msg);
@@ -88,6 +120,8 @@ class LanTransport final : public rt::Transport {
   sim::Rng* rng_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   std::vector<rt::DeliverFn> sinks_;
+  std::vector<std::uint8_t> owned_;  // sharded mode: pids this region runs
+  EmitFn emit_;                      // sharded mode: cross-region handoff
   std::vector<std::uint8_t> failed_;
   FifoSequencer fifo_;
   sim::SimTime medium_free_at_ = 0;

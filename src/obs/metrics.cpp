@@ -76,15 +76,19 @@ std::string Registry::render() const {
         break;
       case Entry::Kind::kHistogram: {
         const Histogram& h = e.histogram.front();
+        // An empty histogram has no mean/min/max/quantiles; printing the
+        // accumulator zeros would be indistinguishable from a real 0.
         table.add_row(
             {e.name,
-             stats::fmt_u("%llu", h.count()) + " obs, mean " +
-                 stats::fmt("%.4f", h.mean()) + " [" +
-                 stats::fmt("%.4f", h.min()) + ", " +
-                 stats::fmt("%.4f", h.max()) + "] p50 " +
-                 stats::fmt("%.4f", h.p50()) + " p95 " +
-                 stats::fmt("%.4f", h.p95()) + " p99 " +
-                 stats::fmt("%.4f", h.p99())});
+             h.count() == 0
+                 ? std::string("0 obs, mean - [-, -] p50 - p95 - p99 -")
+                 : stats::fmt_u("%llu", h.count()) + " obs, mean " +
+                       stats::fmt("%.4f", h.mean()) + " [" +
+                       stats::fmt("%.4f", h.min()) + ", " +
+                       stats::fmt("%.4f", h.max()) + "] p50 " +
+                       stats::fmt("%.4f", h.p50()) + " p95 " +
+                       stats::fmt("%.4f", h.p95()) + " p99 " +
+                       stats::fmt("%.4f", h.p99())});
         for (std::size_t i = 0; i < h.num_buckets(); ++i) {
           std::string label =
               i < h.bounds().size()

@@ -134,11 +134,16 @@ inline constexpr std::uint64_t msg_bytes_of(std::uint64_t arg1) {
 }
 
 // kMsgRetry: high 56 bits carry the total extra delay the retransmissions
-// added (ns); low 8 bits the retry count, saturated at 255.
+// added (ns); low 8 bits the retry count. Both fields saturate at their
+// field maximum — an extra delay >= 2^56 ns would otherwise shift into the
+// count byte and corrupt both fields on decode.
+inline constexpr std::uint64_t kRetryExtraMax = (1ull << 56) - 1;
+
 inline constexpr std::uint64_t pack_retry(sim::SimTime extra_ns,
                                           std::uint64_t retries) {
-  return (static_cast<std::uint64_t>(extra_ns) << 8) |
-         (retries > 255 ? 255 : retries);
+  std::uint64_t extra = static_cast<std::uint64_t>(extra_ns);
+  if (extra > kRetryExtraMax) extra = kRetryExtraMax;
+  return (extra << 8) | (retries > 255 ? 255 : retries);
 }
 inline constexpr std::uint64_t retry_count_of(std::uint64_t arg1) {
   return arg1 & 0xff;

@@ -7,16 +7,28 @@
 // never touches the global heap: acquire() pops a block, the last
 // shared_ptr release pushes it back.
 //
-// Ownership rule: the pool must outlive every shared_ptr it produced (the
-// release path deallocates into the pool). make_pooled<T>() below uses a
-// thread_local pool, which works because simulations are single-threaded
-// per replication and payloads never migrate across threads; pooled
-// pointers must not be stashed in objects that outlive the thread.
+// Thread model: a pool's freelist belongs to the thread that created it
+// (make_pooled<T>() keeps one thread_local pool per payload type, so
+// acquire() always runs on the owner). Releases, however, may happen on
+// ANY thread — a cross-shard message hands its payload to another shard's
+// worker, which drops the last reference there. The release path is
+// therefore thread-affine: the owner thread recycles the block into the
+// freelist (single-threaded, allocation-free steady state); a foreign
+// thread returns the block straight to the global heap instead of
+// touching the owner's freelist unsynchronized.
+//
+// Lifetime: the allocator stored in each shared_ptr's control block holds
+// a reference on the pool's core, so a payload may outlive the pool (and
+// the owner thread) that produced it — the core, and with it the
+// freelist, is torn down by whichever release comes last.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <new>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -27,83 +39,119 @@ namespace mck::util {
 template <typename T>
 class Pool {
  public:
-  Pool() = default;
+  Pool() : core_(std::make_shared<Core>()) {}
   Pool(const Pool&) = delete;
   Pool& operator=(const Pool&) = delete;
-  ~Pool() { shrink(); }
 
   /// Constructs a pool-backed shared_ptr<T>. Allocates only when the
-  /// freelist is empty (cold start or high-water growth).
+  /// freelist is empty (cold start or high-water growth). Owner thread
+  /// only — the freelist is single-threaded by design.
   template <typename... Args>
   std::shared_ptr<T> acquire(Args&&... args) {
-    return std::allocate_shared<T>(Allocator<T>{this},
+    return std::allocate_shared<T>(Allocator<T>{core_},
                                    std::forward<Args>(args)...);
   }
 
   /// Blocks sitting in the freelist, ready for reuse.
-  std::size_t free_blocks() const { return free_.size(); }
-  /// Blocks ever carved from the heap (freelisted + outstanding).
-  std::size_t blocks_allocated() const { return allocated_; }
-  std::size_t outstanding() const { return allocated_ - free_.size(); }
-
-  /// Returns freelisted blocks to the heap (outstanding blocks still
-  /// recycle into the pool when released).
-  void shrink() {
-    for (void* b : free_) ::operator delete(b);
-    allocated_ -= free_.size();
-    free_.clear();
+  std::size_t free_blocks() const { return core_->free_.size(); }
+  /// Blocks ever carved from the heap (freelisted + outstanding), minus
+  /// those already handed back by foreign-thread releases.
+  std::size_t blocks_allocated() const {
+    return core_->allocated_ -
+           static_cast<std::size_t>(
+               core_->foreign_frees_.load(std::memory_order_relaxed));
+  }
+  std::size_t outstanding() const {
+    return blocks_allocated() - core_->free_.size();
+  }
+  /// Releases that arrived on a non-owner thread and bypassed the
+  /// freelist (returned straight to the heap).
+  std::uint64_t foreign_frees() const {
+    return core_->foreign_frees_.load(std::memory_order_relaxed);
   }
 
+  /// Returns freelisted blocks to the heap (outstanding blocks still
+  /// recycle into the pool when released on the owner thread).
+  void shrink() { core_->shrink(); }
+
  private:
+  /// The shared state behind every allocator copy. Kept alive past the
+  /// Pool (and the owner thread's exit) by the allocators stored in
+  /// outstanding control blocks, so a late release never dangles.
+  struct Core {
+    ~Core() { shrink(); }
+
+    void* alloc_block(std::size_t bytes) {
+      MCK_ASSERT_MSG(std::this_thread::get_id() == owner_,
+                     "Pool::acquire on a non-owner thread");
+      if (block_size_ == 0) block_size_ = bytes;
+      // allocate_shared makes exactly one allocation of one node type, so
+      // every request through this pool has the same size.
+      MCK_ASSERT_MSG(bytes == block_size_, "Pool block size changed");
+      if (!free_.empty()) {
+        void* b = free_.back();
+        free_.pop_back();
+        return b;
+      }
+      ++allocated_;
+      return ::operator new(bytes);
+    }
+
+    void free_block(void* p, std::size_t bytes) {
+      (void)bytes;
+      if (std::this_thread::get_id() == owner_) {
+        free_.push_back(p);
+        return;
+      }
+      // Foreign thread: recycling into free_ would race the owner. Give
+      // the block back to the global heap instead — rare (only payloads
+      // that crossed a shard boundary) and always safe.
+      ::operator delete(p);
+      foreign_frees_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void shrink() {
+      for (void* b : free_) ::operator delete(b);
+      allocated_ -= free_.size();
+      free_.clear();
+    }
+
+    const std::thread::id owner_ = std::this_thread::get_id();
+    std::size_t block_size_ = 0;
+    std::size_t allocated_ = 0;
+    std::vector<void*> free_;
+    std::atomic<std::uint64_t> foreign_frees_{0};
+  };
+
   template <typename U>
   struct Allocator {
     using value_type = U;
-    Pool* pool;
+    std::shared_ptr<Core> core;
 
-    explicit Allocator(Pool* p) : pool(p) {}
+    explicit Allocator(std::shared_ptr<Core> c) : core(std::move(c)) {}
     template <typename V>
-    Allocator(const Allocator<V>& o) : pool(o.pool) {}  // NOLINT
+    Allocator(const Allocator<V>& o) : core(o.core) {}  // NOLINT
 
     U* allocate(std::size_t n) {
-      return static_cast<U*>(pool->alloc_block(n * sizeof(U)));
+      return static_cast<U*>(core->alloc_block(n * sizeof(U)));
     }
     void deallocate(U* p, std::size_t n) {
-      pool->free_block(p, n * sizeof(U));
+      core->free_block(p, n * sizeof(U));
     }
     template <typename V>
-    bool operator==(const Allocator<V>& o) const { return pool == o.pool; }
+    bool operator==(const Allocator<V>& o) const { return core == o.core; }
     template <typename V>
-    bool operator!=(const Allocator<V>& o) const { return pool != o.pool; }
+    bool operator!=(const Allocator<V>& o) const { return core != o.core; }
   };
 
-  void* alloc_block(std::size_t bytes) {
-    if (block_size_ == 0) block_size_ = bytes;
-    // allocate_shared makes exactly one allocation of one node type, so
-    // every request through this pool has the same size.
-    MCK_ASSERT_MSG(bytes == block_size_, "Pool block size changed");
-    if (!free_.empty()) {
-      void* b = free_.back();
-      free_.pop_back();
-      return b;
-    }
-    ++allocated_;
-    return ::operator new(bytes);
-  }
-
-  void free_block(void* p, std::size_t bytes) {
-    (void)bytes;
-    free_.push_back(p);
-  }
-
-  std::size_t block_size_ = 0;
-  std::size_t allocated_ = 0;
-  std::vector<void*> free_;
+  std::shared_ptr<Core> core_;
 };
 
 /// Pool-backed replacement for std::make_shared on high-churn message
 /// payloads: one thread_local pool per payload type. Zero heap traffic in
-/// steady state; safe because each simulation replication runs entirely on
-/// one thread and its payloads die with it (see Pool's ownership rule).
+/// steady state on the owning thread; a payload released on another
+/// thread (cross-shard delivery) falls back to the heap, and the pool
+/// core stays alive until the last such payload is gone.
 template <typename T, typename... Args>
 std::shared_ptr<T> make_pooled(Args&&... args) {
   thread_local Pool<T> pool;

@@ -7,10 +7,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 #include "ckpt/store.hpp"
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "obs/round_metrics.hpp"
+#include "obs/trace.hpp"
 #include "obs/trace_io.hpp"
 #include "stats/table.hpp"
 
@@ -74,6 +77,53 @@ TEST(Tracer, GrowsAcrossChunksPreservingOrder) {
   for (std::uint64_t i = 0; i < n; ++i) {
     ASSERT_EQ(r[i].arg0, i);
   }
+}
+
+// Regression: a retry extra-delay at or past 2^56 ns used to shift into
+// the count byte, corrupting both fields on decode. Both fields saturate
+// at their maximum instead.
+TEST(TracePack, RetryFieldsSaturateAtTheirMaxima) {
+  // In-range values round-trip exactly.
+  std::uint64_t packed = obs::pack_retry(12345, 3);
+  EXPECT_EQ(obs::retry_extra_of(packed), 12345);
+  EXPECT_EQ(obs::retry_count_of(packed), 3u);
+
+  // The exact field maximum is representable.
+  packed = obs::pack_retry(static_cast<sim::SimTime>(obs::kRetryExtraMax), 255);
+  EXPECT_EQ(obs::retry_extra_of(packed),
+            static_cast<sim::SimTime>(obs::kRetryExtraMax));
+  EXPECT_EQ(obs::retry_count_of(packed), 255u);
+
+  // One past the maximum saturates; the count byte stays intact.
+  packed = obs::pack_retry(static_cast<sim::SimTime>(obs::kRetryExtraMax) + 1, 7);
+  EXPECT_EQ(obs::retry_extra_of(packed),
+            static_cast<sim::SimTime>(obs::kRetryExtraMax));
+  EXPECT_EQ(obs::retry_count_of(packed), 7u);
+
+  // Far past the maximum (the worst case: all high bits set).
+  packed = obs::pack_retry(std::numeric_limits<sim::SimTime>::max(), 1);
+  EXPECT_EQ(obs::retry_extra_of(packed),
+            static_cast<sim::SimTime>(obs::kRetryExtraMax));
+  EXPECT_EQ(obs::retry_count_of(packed), 1u);
+
+  // Retry counts above the 8-bit field cap at 255 without touching extra.
+  packed = obs::pack_retry(99, 300);
+  EXPECT_EQ(obs::retry_extra_of(packed), 99);
+  EXPECT_EQ(obs::retry_count_of(packed), 255u);
+}
+
+// Regression: an empty histogram used to render mean/percentiles as 0,
+// indistinguishable from a populated histogram whose mean really is 0.
+TEST(MetricsRender, EmptyHistogramRendersDashesNotZeros) {
+  obs::Registry reg;
+  reg.histogram("empty_h", {1.0, 10.0, 100.0});
+  obs::Histogram& full = reg.histogram("full_h", {1.0, 10.0, 100.0});
+  full.observe(5.0);
+  std::string out = reg.render();
+  EXPECT_NE(out.find("0 obs, mean - [-, -] p50 - p95 - p99 -"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("1 obs, mean "), std::string::npos) << out;
 }
 
 TEST(TraceIo, RoundTrip) {

@@ -2,7 +2,7 @@
 //
 //   mcksim [--algo NAME] [--n N] [--rate R] [--interval S] [--hours H]
 //          [--workload p2p|group] [--ratio X] [--groups G] [--seed S]
-//          [--reps R] [--jobs N] [--transport lan|cellular]
+//          [--reps R] [--jobs N] [--shards N] [--transport lan|cellular]
 //          [--shared-medium] [--commit broadcast|update|hybrid]
 //          [--wire-sizes] [--wire-fidelity] [--csv]
 //          [--trace FILE] [--metrics] [--audit] [--log-level LVL]
@@ -43,6 +43,11 @@ namespace {
                "  --jobs N          replication worker threads (default:\n"
                "                    MCK_JOBS env var, else 1; results are\n"
                "                    identical for any N)\n"
+               "  --shards N        conservative-PDES worker lanes within\n"
+               "                    each replication (default: MCK_SHARDS\n"
+               "                    env var, else the legacy serial engine;\n"
+               "                    traces, CSVs and aggregates are byte-\n"
+               "                    identical for any N >= 1)\n"
                "  --transport T     lan | cellular (default lan)\n"
                "  --shared-medium   802.11-style contention for messages\n"
                "  --commit MODE     broadcast | update | hybrid\n"
@@ -81,7 +86,8 @@ int main(int argc, char** argv) {
   harness::ExperimentConfig cfg;
   cfg.rate = 0.01;
   int reps = 1;
-  int jobs = 0;  // 0 = MCK_JOBS env, else serial
+  int jobs = 0;    // 0 = MCK_JOBS env, else serial
+  int shards = 0;  // 0 = MCK_SHARDS env, else the legacy serial engine
   bool csv = false;
   double hours = 4.0;
   std::string trace_path;
@@ -126,6 +132,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       jobs = std::atoi(next());
       if (jobs < 1) usage("--jobs must be >= 1");
+    } else if (arg == "--shards") {
+      shards = std::atoi(next());
+      if (shards < 1) usage("--shards must be >= 1");
     } else if (arg == "--transport") {
       std::string t = next();
       if (t == "lan") {
@@ -171,8 +180,12 @@ int main(int argc, char** argv) {
   }
   cfg.horizon = sim::from_seconds(hours * 3600.0);
   cfg.capture_trace = !trace_path.empty() || metrics || audit;
+  if (harness::resolve_shards(shards) >= 1 &&
+      cfg.sys.lan.mode == net::MediumMode::kShared) {
+    usage("--shared-medium is incompatible with --shards");
+  }
 
-  harness::RunResult res = harness::run_replicated(cfg, reps, jobs);
+  harness::RunResult res = harness::run_replicated(cfg, reps, jobs, shards);
 
   // Offline audit of the captured trace: an independent verdict that must
   // agree with the in-sim checker. stderr keeps the --csv stdout clean.
