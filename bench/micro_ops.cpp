@@ -220,10 +220,10 @@ BENCHMARK(BM_OrphanScan);
 
 core::RequestPayload make_request(int n) {
   core::RequestPayload p;
-  p.mr.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    p.mr[static_cast<std::size_t>(i)].csn = static_cast<Csn>(i * 3);
-    p.mr[static_cast<std::size_t>(i)].requested = (i % 2) ? 1 : 0;
+    p.mr.put(static_cast<std::size_t>(i),
+             core::MrEntry{static_cast<Csn>(i * 3 + 1),
+                           static_cast<std::uint8_t>((i % 2) ? 1 : 0)});
   }
   p.sender_csn = 41;
   p.trigger = core::Trigger{2, 7};

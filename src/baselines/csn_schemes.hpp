@@ -13,7 +13,8 @@
 
 #include "ckpt/store.hpp"
 #include "rt/protocol.hpp"
-#include "util/bitvec.hpp"
+#include "util/interval_set.hpp"
+#include "util/sparse_csn.hpp"
 
 namespace mck::baselines {
 
@@ -43,8 +44,8 @@ class CsnSchemeProtocol final : public rt::CheckpointProtocol {
   void take_stable(ckpt::InitiationId init);
 
   CsnSchemeKind kind_;
-  util::BitVec R_;
-  std::vector<Csn> csn_;
+  util::IntervalSet R_;
+  util::SparseCsnMap csn_;
   bool sent_ = false;
   std::uint64_t forced_ = 0;
 };

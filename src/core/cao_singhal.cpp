@@ -9,7 +9,7 @@
 
 namespace mck::core {
 
-using util::BitVec;
+using util::IntervalSet;
 using util::Weight;
 
 namespace {
@@ -29,9 +29,9 @@ CaoSinghalProtocol::CaoSinghalProtocol(CaoSinghalOptions opts)
 void CaoSinghalProtocol::start() {
   const int n = ctx_.num_processes;
   MCK_ASSERT(n > 0);
-  R_ = BitVec(static_cast<std::size_t>(n));
-  csn_.assign(static_cast<std::size_t>(n), 0);
-  dep_csn_.assign(static_cast<std::size_t>(n), 0);
+  R_ = IntervalSet(static_cast<std::size_t>(n));
+  csn_.assign(static_cast<std::size_t>(n));
+  dep_csn_.assign(static_cast<std::size_t>(n));
   own_trigger_ = Trigger{self(), 0};
 }
 
@@ -63,13 +63,13 @@ void CaoSinghalProtocol::on_disconnect() {
   // disconnected no events occur at the process, so this record stays a
   // faithful image of its state for the whole disconnect interval.
   ctx_.store->take(self(), ckpt::CkptKind::kDisconnect,
-                   csn_[static_cast<std::size_t>(self())], 0,
+                   csn_.get(static_cast<std::size_t>(self())), 0,
                    ctx_.log->cursor(self()), ctx_.sim->now());
   (void)start_stable_transfer();
 }
 
-BitVec CaoSinghalProtocol::effective_R() const {
-  BitVec r = R_;
+IntervalSet CaoSinghalProtocol::effective_R() const {
+  IntervalSet r = R_;
   for (const MutableRec& m : mutables_) r.merge(m.saved_R);
   return r;
 }
@@ -130,7 +130,7 @@ void CaoSinghalProtocol::discard_all_mutables(bool merge_back) {
 std::shared_ptr<const rt::Payload> CaoSinghalProtocol::computation_payload(
     ProcessId dst) {
   auto p = util::make_pooled<CompPayload>();
-  p->csn = csn_[static_cast<std::size_t>(self())];
+  p->csn = csn_.get(static_cast<std::size_t>(self()));
   if (cp_state_) {
     p->trigger = own_trigger_;
     // Update-approach history (Section 3.3.5).
@@ -151,8 +151,8 @@ std::shared_ptr<const rt::Payload> CaoSinghalProtocol::computation_payload(
 void CaoSinghalProtocol::initiate() {
   if (active_initiator_) return;  // already running one
   const ProcessId me = self();
-  ++csn_[static_cast<std::size_t>(me)];
-  own_trigger_ = Trigger{me, csn_[static_cast<std::size_t>(me)]};
+  const Csn inum = csn_.bump(static_cast<std::size_t>(me));
+  own_trigger_ = Trigger{me, inum};
   cp_state_ = true;
   const Trigger t = own_trigger_;
 
@@ -168,9 +168,8 @@ void CaoSinghalProtocol::initiate() {
   init_failed_.clear();
   replier_deps_.clear();
 
-  std::vector<MrEntry> mr(static_cast<std::size_t>(ctx_.num_processes));
-  mr[static_cast<std::size_t>(me)] =
-      MrEntry{csn_[static_cast<std::size_t>(me)], 1};
+  SparseMr mr;
+  mr.put(static_cast<std::size_t>(me), MrEntry{inum, 1});
 
   MCK_TRACE("[t=%.3fms] P%d initiates %s", sim::to_milliseconds(ctx_.sim->now()),
             me, t.to_string().c_str());
@@ -186,36 +185,31 @@ void CaoSinghalProtocol::initiate() {
 // prop_cp (Section 3.3 subroutine)
 // ---------------------------------------------------------------------
 
-Weight CaoSinghalProtocol::prop_cp(const BitVec& deps,
-                                   const std::vector<MrEntry>& mr_in,
+Weight CaoSinghalProtocol::prop_cp(const IntervalSet& deps,
+                                   const SparseMr& mr_in,
                                    const Trigger& trigger, Weight weight) {
-  const int n = ctx_.num_processes;
-  std::vector<MrEntry> temp(static_cast<std::size_t>(n));
-  for (int k = 0; k < n; ++k) {
-    const MrEntry in = static_cast<std::size_t>(k) < mr_in.size()
-                           ? mr_in[static_cast<std::size_t>(k)]
-                           : MrEntry{};
-    temp[static_cast<std::size_t>(k)].csn =
-        std::max(in.csn, dep_csn_[static_cast<std::size_t>(k)]);
-    temp[static_cast<std::size_t>(k)].requested =
-        in.requested | (deps.size() && deps.test(static_cast<std::size_t>(k))
-                            ? std::uint8_t{1}
-                            : std::uint8_t{0});
-  }
+  // The dense pseudocode builds temp[k] = {max(MR[k].csn, dep_csn[k]),
+  // MR[k].R | deps[k]} for every k; sparsely, only the slots that differ
+  // from {0, 0} are materialized — receivers read absent slots as the
+  // default, so the semantics are element-for-element the dense ones while
+  // the work is O(active dependencies).
+  SparseMr temp = mr_in;
+  dep_csn_.for_each(
+      [&temp](std::size_t k, Csn v) { temp.raise_csn(k, v); });
+  deps.for_each([&temp](std::size_t k) { temp.mark_requested(k); });
 
   ckpt::InitiationStats& st = init_stats(trigger);
-  for (int k = 0; k < n; ++k) {
-    if (k == self()) continue;
-    if (!deps.test(static_cast<std::size_t>(k))) continue;
-    const MrEntry in = static_cast<std::size_t>(k) < mr_in.size()
-                           ? mr_in[static_cast<std::size_t>(k)]
-                           : MrEntry{};
+  bool weight_consumed_guard = false;
+  (void)weight_consumed_guard;
+  deps.for_each([&](std::size_t ks) {
+    const int k = static_cast<int>(ks);
+    if (k == self()) return;
+    const MrEntry in = mr_in.get(ks);
     // Prose of Section 3.3.2: skip P_k iff MR records that someone already
     // sent P_k a request with req_csn >= (the csn of the interval in which
     // our dependency on P_k was created).
-    const bool covered =
-        in.requested != 0 && in.csn >= dep_csn_[static_cast<std::size_t>(k)];
-    if (opts_.mr_filter && covered) continue;
+    const bool covered = in.requested != 0 && in.csn >= dep_csn_.get(ks);
+    if (opts_.mr_filter && covered) return;
 
     if (!ctx_.net->reachable(k)) {
       // Section 3.6: "some processes that try to communicate with it get
@@ -237,7 +231,7 @@ Weight CaoSinghalProtocol::prop_cp(const BitVec& deps,
       } else {
         send_reply(trigger, Weight::zero(), /*refused=*/true);
       }
-      continue;
+      return;
     }
 
     weight.halve();
@@ -248,17 +242,16 @@ Weight CaoSinghalProtocol::prop_cp(const BitVec& deps,
     }
     auto rp = util::make_pooled<RequestPayload>();
     rp->mr = temp;
-    rp->sender_csn = csn_[static_cast<std::size_t>(self())];
+    rp->sender_csn = csn_.get(static_cast<std::size_t>(self()));
     rp->trigger = trigger;
-    rp->req_csn = dep_csn_[static_cast<std::size_t>(k)];
+    rp->req_csn = dep_csn_.get(ks);
     rp->weight = weight;
     send_system(rt::MsgKind::kRequest, k, std::move(rp));
     ++st.requests;
     MCK_TRACE("[t=%.3fms] P%d -> P%d request %s req_csn=%u",
               sim::to_milliseconds(ctx_.sim->now()), self(), k,
-              trigger.to_string().c_str(),
-              dep_csn_[static_cast<std::size_t>(k)]);
-  }
+              trigger.to_string().c_str(), dep_csn_.get(ks));
+  });
   return weight;
 }
 
@@ -267,8 +260,8 @@ Weight CaoSinghalProtocol::prop_cp(const BitVec& deps,
 // ---------------------------------------------------------------------
 
 void CaoSinghalProtocol::take_tentative(const Trigger& trigger,
-                                        const std::vector<MrEntry>& mr,
-                                        Weight weight, bool as_initiator) {
+                                        const SparseMr& mr, Weight weight,
+                                        bool as_initiator) {
   PendingTentative pt;
   pt.trigger = trigger;
   pt.saved_R = effective_R();
@@ -278,13 +271,13 @@ void CaoSinghalProtocol::take_tentative(const Trigger& trigger,
   Weight remaining = prop_cp(pt.saved_R, mr, trigger, weight);
 
   pt.ref = ctx_.store->take(self(), ckpt::CkptKind::kTentative,
-                            csn_[static_cast<std::size_t>(self())],
+                            csn_.get(static_cast<std::size_t>(self())),
                             trigger.initiation(), ctx_.log->cursor(self()),
                             ctx_.sim->now());
   ++ctx_.stats->tentative_taken;
   ++init_stats(trigger).tentative;
 
-  old_csn_ = csn_[static_cast<std::size_t>(self())];
+  old_csn_ = csn_.get(static_cast<std::size_t>(self()));
   // Mutables are superseded: their states precede this tentative and their
   // dependencies were just propagated via effective_R.
   discard_all_mutables(/*merge_back=*/false);
@@ -315,14 +308,13 @@ void CaoSinghalProtocol::take_tentative(const Trigger& trigger,
 }
 
 void CaoSinghalProtocol::promote_mutable(std::size_t idx,
-                                         const std::vector<MrEntry>& mr,
-                                         Weight weight) {
+                                         const SparseMr& mr, Weight weight) {
   MutableRec rec = mutables_[static_cast<std::size_t>(idx)];
   const Trigger trigger = rec.trigger;
 
   // Dependencies of the promoted state: everything recorded up to and
   // including this mutable (older mutables are part of its state).
-  BitVec deps(static_cast<std::size_t>(ctx_.num_processes));
+  IntervalSet deps(static_cast<std::size_t>(ctx_.num_processes));
   bool deps_sent = false;
   for (std::size_t i = 0; i <= idx; ++i) {
     deps.merge(mutables_[i].saved_R);
@@ -344,7 +336,7 @@ void CaoSinghalProtocol::promote_mutable(std::size_t idx,
   ckpt::InitiationStats& st = init_stats(trigger);
   ++st.mutables_promoted;
   ++st.tentative;  // it is now a tentative checkpoint of this initiation
-  old_csn_ = csn_[static_cast<std::size_t>(self())];
+  old_csn_ = csn_.get(static_cast<std::size_t>(self()));
 
   // Older mutables are consumed by the promotion (no merge back: their
   // dependencies are inside the promoted state and were propagated).
@@ -376,7 +368,7 @@ void CaoSinghalProtocol::take_mutable(const Trigger& trigger) {
   rec.saved_R = R_;
   rec.saved_sent = sent_;
   rec.ref = ctx_.store->take(self(), ckpt::CkptKind::kMutable,
-                             csn_[static_cast<std::size_t>(self())],
+                             csn_.get(static_cast<std::size_t>(self())),
                              trigger.initiation(), ctx_.log->cursor(self()),
                              ctx_.sim->now());
   charge_mutable_save();
@@ -475,13 +467,14 @@ void CaoSinghalProtocol::initiator_decide_commit() {
   // one means no request or reply is in flight (Lemma 2), so the
   // dependency reports are complete and the Kim-Park abort closure can
   // be computed exactly.
-  util::BitVec abort_set;
+  util::IntervalSet abort_set;
   if (!init_failed_.empty()) {
     if (opts_.failure_mode != FailureMode::kPartialCommit) {
       initiator_abort();
       return;
     }
-    abort_set = util::BitVec(static_cast<std::size_t>(ctx_.num_processes));
+    abort_set =
+        util::IntervalSet(static_cast<std::size_t>(ctx_.num_processes));
     for (ProcessId f : init_failed_) {
       abort_set.set(static_cast<std::size_t>(f));
     }
@@ -493,13 +486,9 @@ void CaoSinghalProtocol::initiator_decide_commit() {
       changed = false;
       for (const auto& [pid, deps] : replier_deps_) {
         if (abort_set.test(static_cast<std::size_t>(pid))) continue;
-        for (int q = 0; q < ctx_.num_processes; ++q) {
-          if (abort_set.test(static_cast<std::size_t>(q)) &&
-              deps.test(static_cast<std::size_t>(q))) {
-            abort_set.set(static_cast<std::size_t>(pid));
-            changed = true;
-            break;
-          }
+        if (abort_set.intersects(deps)) {
+          abort_set.set(static_cast<std::size_t>(pid));
+          changed = true;
         }
       }
     }
@@ -569,8 +558,7 @@ void CaoSinghalProtocol::initiator_abort() {
 void CaoSinghalProtocol::handle_request(const rt::Message& m,
                                         const RequestPayload& p) {
   // csn_i[j] := recv_csn (the request sender's own csn).
-  std::size_t j = static_cast<std::size_t>(m.src);
-  if (p.sender_csn > csn_[j]) csn_[j] = p.sender_csn;
+  csn_.raise(static_cast<std::size_t>(m.src), p.sender_csn);
 
   // T_msg bookkeeping (Section 5.3): the synchronization phase of this
   // initiation extends at least to now.
@@ -631,7 +619,7 @@ void CaoSinghalProtocol::handle_request(const rt::Message& m,
       send_reply(p.trigger, p.weight, false);
     }
   } else {
-    ++csn_[static_cast<std::size_t>(self())];
+    csn_.bump(static_cast<std::size_t>(self()));
     own_trigger_ = p.trigger;
     take_tentative(p.trigger, p.mr, p.weight, /*as_initiator=*/false);
   }
@@ -646,9 +634,9 @@ void CaoSinghalProtocol::handle_computation(const rt::Message& m) {
   MCK_ASSERT(p != nullptr);
   const std::size_t j = static_cast<std::size_t>(m.src);
 
-  if (p->csn > dep_csn_[j]) dep_csn_[j] = p->csn;
+  dep_csn_.raise(j, p->csn);
 
-  if (p->csn <= csn_[j]) {
+  if (p->csn <= csn_.get(j)) {
     R_.set(j);
     process_computation(m);
     return;
@@ -656,15 +644,15 @@ void CaoSinghalProtocol::handle_computation(const rt::Message& m) {
 
   // Sender took a checkpoint before sending m.
   if (p->trigger.valid() &&
-      csn_[static_cast<std::size_t>(p->trigger.pid)] >= p->trigger.inum) {
+      csn_.get(static_cast<std::size_t>(p->trigger.pid)) >= p->trigger.inum) {
     // We already know of (or acted for) this initiation — Condition 3.
-    csn_[j] = p->csn;
+    csn_.raise(j, p->csn);
     R_.set(j);
     process_computation(m);
     return;
   }
 
-  csn_[j] = p->csn;
+  csn_.raise(j, p->csn);
 
   // Condition 1: sender inside a checkpointing process (trigger != NULL).
   // Condition 2: we sent a message since our last checkpoint.
@@ -675,7 +663,7 @@ void CaoSinghalProtocol::handle_computation(const rt::Message& m) {
   }
   if (p->trigger.valid() && !cp_state_) {
     cp_state_ = true;
-    ++csn_[static_cast<std::size_t>(self())];
+    csn_.bump(static_cast<std::size_t>(self()));
     own_trigger_ = p->trigger;
   }
   R_.set(j);
@@ -687,11 +675,9 @@ void CaoSinghalProtocol::handle_computation(const rt::Message& m) {
 // ---------------------------------------------------------------------
 
 void CaoSinghalProtocol::handle_clear(const Trigger& t, bool is_commit,
-                                      const util::BitVec* abort_set) {
+                                      const util::IntervalSet* abort_set) {
   terminated_.insert(t.initiation());
-  if (csn_[static_cast<std::size_t>(t.pid)] < t.inum) {
-    csn_[static_cast<std::size_t>(t.pid)] = t.inum;
-  }
+  csn_.raise(static_cast<std::size_t>(t.pid), t.inum);
 
   bool had_effect = false;
 
@@ -702,15 +688,8 @@ void CaoSinghalProtocol::handle_clear(const Trigger& t, bool is_commit,
       // depend on) sit in the abort closure.
       bool must_abort = false;
       if (abort_set != nullptr) {
-        must_abort = abort_set->test(static_cast<std::size_t>(self()));
-        if (!must_abort) {
-          for (std::size_t q = 0; q < abort_set->size(); ++q) {
-            if (abort_set->test(q) && pending_[i].saved_R.test(q)) {
-              must_abort = true;
-              break;
-            }
-          }
-        }
+        must_abort = abort_set->test(static_cast<std::size_t>(self())) ||
+                     abort_set->intersects(pending_[i].saved_R);
       }
       if (must_abort) {
         PendingTentative pt = pending_[i];
@@ -766,7 +745,7 @@ void CaoSinghalProtocol::handle_clear(const Trigger& t, bool is_commit,
 }
 
 void CaoSinghalProtocol::handle_commit(const Trigger& t,
-                                       const util::BitVec* abort_set) {
+                                       const util::IntervalSet* abort_set) {
   handle_clear(t, /*is_commit=*/true,
                (abort_set && abort_set->size()) ? abort_set : nullptr);
 }

@@ -33,7 +33,8 @@
 #include "core/payloads.hpp"
 #include "core/trigger.hpp"
 #include "rt/protocol.hpp"
-#include "util/bitvec.hpp"
+#include "util/interval_set.hpp"
+#include "util/sparse_csn.hpp"
 
 namespace mck::core {
 
@@ -100,12 +101,12 @@ class CaoSinghalProtocol final : public rt::CheckpointProtocol {
   }
 
   // ---- introspection for tests and examples ---------------------------
-  Csn csn(ProcessId p) const { return csn_[static_cast<std::size_t>(p)]; }
+  Csn csn(ProcessId p) const { return csn_.get(static_cast<std::size_t>(p)); }
   Csn own_csn() const { return csn(self()); }
   Csn old_csn() const { return old_csn_; }
   bool sent_flag() const { return sent_; }
   bool cp_state() const { return cp_state_; }
-  const util::BitVec& dependency_vector() const { return R_; }
+  const util::IntervalSet& dependency_vector() const { return R_; }
   const Trigger& own_trigger() const { return own_trigger_; }
   std::size_t mutable_count() const { return mutables_.size(); }
 
@@ -140,25 +141,24 @@ class CaoSinghalProtocol final : public rt::CheckpointProtocol {
   struct MutableRec {
     ckpt::CkptRef ref = ckpt::kNoCkpt;
     Trigger trigger;
-    util::BitVec saved_R;
+    util::IntervalSet saved_R;
     bool saved_sent = false;
   };
 
   struct PendingTentative {
     ckpt::CkptRef ref = ckpt::kNoCkpt;
     Trigger trigger;
-    util::BitVec saved_R;     // for abort restoration
+    util::IntervalSet saved_R;  // for abort restoration
     bool saved_sent = false;
     Csn saved_old_csn = 0;
   };
 
   // Pseudocode subroutines.
-  util::Weight prop_cp(const util::BitVec& deps,
-                       const std::vector<MrEntry>& mr_in,
+  util::Weight prop_cp(const util::IntervalSet& deps, const SparseMr& mr_in,
                        const Trigger& trigger, util::Weight weight);
-  void take_tentative(const Trigger& trigger, const std::vector<MrEntry>& mr,
+  void take_tentative(const Trigger& trigger, const SparseMr& mr,
                       util::Weight weight, bool as_initiator);
-  void promote_mutable(std::size_t idx, const std::vector<MrEntry>& mr,
+  void promote_mutable(std::size_t idx, const SparseMr& mr,
                        util::Weight weight);
   void take_mutable(const Trigger& trigger);
   void send_reply(const Trigger& trigger, util::Weight weight, bool refused);
@@ -166,10 +166,10 @@ class CaoSinghalProtocol final : public rt::CheckpointProtocol {
   void handle_request(const rt::Message& m, const RequestPayload& p);
   void handle_reply(const rt::Message& m, const ReplyPayload& p);
   void handle_commit(const Trigger& trigger,
-                     const util::BitVec* abort_set = nullptr);
+                     const util::IntervalSet* abort_set = nullptr);
   void handle_abort(const Trigger& trigger);
   void handle_clear(const Trigger& trigger, bool is_commit,
-                    const util::BitVec* abort_set = nullptr);
+                    const util::IntervalSet* abort_set = nullptr);
 
   void initiator_decide_commit();
   void initiator_abort();
@@ -184,7 +184,7 @@ class CaoSinghalProtocol final : public rt::CheckpointProtocol {
 
   /// Union of R_ with every saved mutable-checkpoint R (the proof's
   /// "R_i should be CP_i.R if there is a mutable checkpoint").
-  util::BitVec effective_R() const;
+  util::IntervalSet effective_R() const;
   bool effective_sent() const;
 
   /// Discards mutables matching `trigger`; merge_back restores their
@@ -197,16 +197,18 @@ class CaoSinghalProtocol final : public rt::CheckpointProtocol {
 
   CaoSinghalOptions opts_;
 
-  // --- paper state (Section 3.2) ---
-  util::BitVec R_;
-  std::vector<Csn> csn_;
+  // --- paper state (Section 3.2). All three are sparse: per-message and
+  // per-request work is O(active dependencies), not O(n), and per-process
+  // memory stays constant-ish as the population grows. ---
+  util::IntervalSet R_;
+  util::SparseCsnMap csn_;
   // csn actually observed on the last *computation message* from each
   // process. The paper's csn array conflates this with knowledge gained
   // from commit broadcasts (csn[pid] := inum), which would defeat its own
   // Fig. 4 req_csn optimization: a request must carry the csn of the
   // interval in which the dependency was created, so req_csn (and the MR
   // coverage check) read this array instead.
-  std::vector<Csn> dep_csn_;
+  util::SparseCsnMap dep_csn_;
   bool sent_ = false;
   bool cp_state_ = false;
   Csn old_csn_ = 0;
@@ -234,7 +236,7 @@ class CaoSinghalProtocol final : public rt::CheckpointProtocol {
   // Kim-Park partial commit: failures reported by the request wave, and
   // the repliers' dependency vectors for the abort-closure computation.
   std::vector<ProcessId> init_failed_;
-  std::vector<std::pair<ProcessId, util::BitVec>> replier_deps_;
+  std::vector<std::pair<ProcessId, util::IntervalSet>> replier_deps_;
   // Participant side: failures observed while propagating; attached to
   // the next reply.
   std::vector<ProcessId> observed_failures_;

@@ -11,14 +11,14 @@ namespace mck::core {
 namespace {
 
 void put_trigger(WireWriter& w, const Trigger& t) {
-  w.u32(static_cast<std::uint32_t>(t.pid));
-  w.u32(t.inum);
+  w.zz32(static_cast<std::int32_t>(t.pid));
+  w.vu32(t.inum);
 }
 
 Trigger get_trigger(WireReader& r) {
   Trigger t;
-  t.pid = static_cast<ProcessId>(r.u32());
-  t.inum = r.u32();
+  t.pid = static_cast<ProcessId>(r.zz32());
+  t.inum = r.vu32();
   return t;
 }
 
@@ -39,37 +39,82 @@ util::Weight get_weight(WireReader& r) {
   return util::Weight::from_raw(integer, std::move(frac));
 }
 
-void put_bitvec(WireWriter& w, const util::BitVec& v) {
-  MCK_ASSERT(v.size() <= UINT16_MAX);
-  w.u16(static_cast<std::uint16_t>(v.size()));
-  std::uint8_t acc = 0;
-  int bits = 0;
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (v.test(i)) acc |= static_cast<std::uint8_t>(1u << bits);
-    if (++bits == 8) {
-      w.u8(acc);
-      acc = 0;
-      bits = 0;
-    }
+// Delta-encoded interval set: universe size, interval count, then for each
+// interval the gap from the previous interval's hi (absolute lo for the
+// first) and the length. A dependency set over 1M hosts costs bytes
+// proportional to its *intervals*, not to the universe; the dense bitmap
+// form this replaces was n/8 bytes on every reply and commit.
+void put_iset(WireWriter& w, const util::IntervalSet& v) {
+  w.vu64(v.size());
+  w.vu64(v.intervals().size());
+  std::uint32_t prev_hi = 0;
+  for (const util::IntervalSet::Interval& iv : v.intervals()) {
+    w.vu32(iv.lo - prev_hi);
+    w.vu32(iv.hi - iv.lo);
+    prev_hi = iv.hi;
   }
-  if (bits > 0) w.u8(acc);
 }
 
-util::BitVec get_bitvec(WireReader& r) {
-  std::uint16_t n = r.u16();
-  util::BitVec v(n);
-  std::uint8_t acc = 0;
-  int bits = 8;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (bits == 8) {
-      acc = r.u8();
-      bits = 0;
+util::IntervalSet get_iset(WireReader& r) {
+  const std::uint64_t n = r.vu64();
+  const std::uint64_t count = r.vu64();
+  util::IntervalSet v(static_cast<std::size_t>(n));
+  if (!r.ok() || n > UINT32_MAX) {
+    r.fail();
+    return v;
+  }
+  std::uint64_t prev_hi = 0;
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    const std::uint64_t lo = prev_hi + r.vu32();
+    const std::uint64_t hi = lo + r.vu32();
+    if (!r.ok()) break;
+    if (hi > n || !v.append_interval(static_cast<std::uint32_t>(lo),
+                                     static_cast<std::uint32_t>(hi))) {
+      r.fail();
+      break;
     }
-    if (!r.ok()) return util::BitVec(n);
-    if (acc & (1u << bits)) v.set(i);
-    ++bits;
+    prev_hi = hi;
   }
   return v;
+}
+
+// Delta-encoded sparse MR: slot count, then per slot the pid gap (absolute
+// pid for the first; gap - 1 after, since pids are strictly ascending),
+// the csn, and the requested flag. Only touched slots travel, so request
+// piggybacks grow with the checkpoint wave, not with n.
+void put_mr(WireWriter& w, const SparseMr& mr) {
+  w.vu64(mr.active());
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const SparseMr::Slot& s : mr.slots()) {
+    w.vu32(first ? s.pid : s.pid - prev - 1);
+    w.vu32(s.e.csn);
+    w.u8(s.e.requested);
+    prev = s.pid;
+    first = false;
+  }
+}
+
+SparseMr get_mr(WireReader& r) {
+  SparseMr mr;
+  const std::uint64_t count = r.vu64();
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    const std::uint64_t pid = first ? r.vu32() : prev + 1 + r.vu32();
+    MrEntry e;
+    e.csn = r.vu32();
+    e.requested = r.u8();
+    if (!r.ok()) break;
+    if (pid > UINT32_MAX || e.requested > 1 ||
+        !mr.append(static_cast<std::uint32_t>(pid), e)) {
+      r.fail();
+      break;
+    }
+    prev = pid;
+    first = false;
+  }
+  return mr;
 }
 
 // --- one entry per payload type -----------------------------------------
@@ -87,41 +132,30 @@ struct PayloadCodec {
 
 void put_comp(WireWriter& w, const rt::Payload& p0) {
   const auto& p = static_cast<const CompPayload&>(p0);
-  w.u32(p.csn);
+  w.vu32(p.csn);
   put_trigger(w, p.trigger);
 }
 std::shared_ptr<rt::Payload> get_comp(WireReader& r) {
   auto p = util::make_pooled<CompPayload>();
-  p->csn = r.u32();
+  p->csn = r.vu32();
   p->trigger = get_trigger(r);
   return p;
 }
 
 void put_request(WireWriter& w, const rt::Payload& p0) {
   const auto& p = static_cast<const RequestPayload&>(p0);
-  MCK_ASSERT(p.mr.size() <= UINT16_MAX);
-  w.u16(static_cast<std::uint16_t>(p.mr.size()));
-  for (const MrEntry& e : p.mr) {
-    w.u32(e.csn);
-    w.u8(e.requested);
-  }
-  w.u32(p.sender_csn);
+  put_mr(w, p.mr);
+  w.vu32(p.sender_csn);
   put_trigger(w, p.trigger);
-  w.u32(p.req_csn);
+  w.vu32(p.req_csn);
   put_weight(w, p.weight);
 }
 std::shared_ptr<rt::Payload> get_request(WireReader& r) {
   auto p = util::make_pooled<RequestPayload>();
-  std::uint16_t n = r.u16();
-  for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
-    MrEntry e;
-    e.csn = r.u32();
-    e.requested = r.u8();
-    p->mr.push_back(e);
-  }
-  p->sender_csn = r.u32();
+  p->mr = get_mr(r);
+  p->sender_csn = r.vu32();
   p->trigger = get_trigger(r);
-  p->req_csn = r.u32();
+  p->req_csn = r.vu32();
   p->weight = get_weight(r);
   return p;
 }
@@ -131,33 +165,32 @@ void put_reply(WireWriter& w, const rt::Payload& p0) {
   put_trigger(w, p.trigger);
   put_weight(w, p.weight);
   w.u8(p.refused ? 1 : 0);
-  MCK_ASSERT(p.failed_observed.size() <= UINT16_MAX);
-  w.u16(static_cast<std::uint16_t>(p.failed_observed.size()));
-  for (ProcessId f : p.failed_observed) w.u32(static_cast<std::uint32_t>(f));
-  put_bitvec(w, p.deps);
+  w.vu64(p.failed_observed.size());
+  for (ProcessId f : p.failed_observed) w.vu32(static_cast<std::uint32_t>(f));
+  put_iset(w, p.deps);
 }
 std::shared_ptr<rt::Payload> get_reply(WireReader& r) {
   auto p = util::make_pooled<ReplyPayload>();
   p->trigger = get_trigger(r);
   p->weight = get_weight(r);
   p->refused = r.u8() != 0;
-  std::uint16_t n = r.u16();
-  for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
-    p->failed_observed.push_back(static_cast<ProcessId>(r.u32()));
+  std::uint64_t n = r.vu64();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    p->failed_observed.push_back(static_cast<ProcessId>(r.vu32()));
   }
-  p->deps = get_bitvec(r);
+  p->deps = get_iset(r);
   return p;
 }
 
 void put_commit(WireWriter& w, const rt::Payload& p0) {
   const auto& p = static_cast<const CommitPayload&>(p0);
   put_trigger(w, p.trigger);
-  put_bitvec(w, p.abort_set);
+  put_iset(w, p.abort_set);
 }
 std::shared_ptr<rt::Payload> get_commit(WireReader& r) {
   auto p = util::make_pooled<CommitPayload>();
   p->trigger = get_trigger(r);
-  p->abort_set = get_bitvec(r);
+  p->abort_set = get_iset(r);
   return p;
 }
 

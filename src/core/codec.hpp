@@ -68,6 +68,25 @@ class WireWriter {
     u32(static_cast<std::uint32_t>(v));
     u32(static_cast<std::uint32_t>(v >> 32));
   }
+  /// LEB128 varint: 7 value bits per byte, high bit = continuation. Small
+  /// values (the common case for csns, counts, and delta-encoded gaps)
+  /// cost one byte instead of four or eight.
+  void vu64(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void vu32(std::uint32_t v) { vu64(v); }
+
+  /// Zigzag-mapped signed varint: -1 (the NULL trigger's pid) costs one
+  /// byte, not five.
+  void zz32(std::int32_t v) {
+    const std::uint32_t u = static_cast<std::uint32_t>(v);
+    vu64((u << 1) ^ static_cast<std::uint32_t>(v >> 31));
+  }
+
   std::vector<std::uint8_t> take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
 
@@ -83,6 +102,12 @@ class WireReader {
 
   bool ok() const { return ok_; }
   bool done() const { return ok_ && pos_ == buf_.size(); }
+
+  /// Marks the stream malformed; decode() then rejects the buffer. Used by
+  /// payload codecs when a semantic invariant fails (non-ascending pids, an
+  /// out-of-universe interval) even though the bytes themselves were
+  /// readable.
+  void fail() { ok_ = false; }
 
   std::uint8_t u8() {
     if (pos_ + 1 > buf_.size()) {
@@ -102,6 +127,39 @@ class WireReader {
   std::uint64_t u64() {
     std::uint64_t lo = u32(), hi = u32();
     return lo | (hi << 32);
+  }
+
+  std::uint64_t vu64() {
+    std::uint64_t out = 0;
+    int shift = 0;
+    for (int i = 0; i < 10; ++i) {
+      std::uint8_t b = u8();
+      if (!ok_) return 0;
+      out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        // Reject non-canonical 10th bytes that would shift past bit 63.
+        if (i == 9 && b > 1) {
+          ok_ = false;
+          return 0;
+        }
+        return out;
+      }
+      shift += 7;
+    }
+    ok_ = false;  // unterminated varint
+    return 0;
+  }
+  std::uint32_t vu32() {
+    std::uint64_t v = vu64();
+    if (v > UINT32_MAX) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+  std::int32_t zz32() {
+    std::uint32_t u = vu32();
+    return static_cast<std::int32_t>((u >> 1) ^ (~(u & 1) + 1));
   }
 
  private:

@@ -96,6 +96,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   SchedulerOptions sched_opts;
   sched_opts.interval = config.ckpt_interval;
   sched_opts.serialize = config.serialize_initiations;
+  sched_opts.initiator_limit = config.initiator_limit;
   CheckpointScheduler scheduler(system, sched_opts);
   scheduler.start(config.horizon);
 

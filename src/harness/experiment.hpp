@@ -25,6 +25,8 @@ struct ExperimentConfig {
   sim::SimTime ckpt_interval = sim::seconds(900);
   sim::SimTime horizon = sim::seconds(4 * 3600);
   bool serialize_initiations = true;
+  /// See SchedulerOptions::initiator_limit (0 = all processes initiate).
+  int initiator_limit = 0;
 
   /// Flight-recorder capture: each repetition records into its own
   /// obs::Tracer and lands in RunResult::traces. Deterministic — the trace

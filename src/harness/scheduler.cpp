@@ -1,14 +1,20 @@
 #include "harness/scheduler.hpp"
 
+#include <algorithm>
+
 namespace mck::harness {
 
 void CheckpointScheduler::start(sim::SimTime horizon) {
   horizon_ = horizon;
-  for (ProcessId p = 0; p < sys_.n(); ++p) {
+  const ProcessId count =
+      opts_.initiator_limit > 0
+          ? std::min<ProcessId>(opts_.initiator_limit, sys_.n())
+          : sys_.n();
+  for (ProcessId p = 0; p < count; ++p) {
     sim::SimTime first = opts_.interval;
     if (opts_.stagger_start) {
-      first = opts_.interval / sys_.n() * (p + 1) +
-              sys_.rng().exponential(opts_.interval / (4 * sys_.n()));
+      first = opts_.interval / count * (p + 1) +
+              sys_.rng().exponential(opts_.interval / (4 * count));
     }
     schedule_at(p, first);
   }

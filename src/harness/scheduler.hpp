@@ -18,6 +18,12 @@ struct SchedulerOptions {
   /// First checkpoints are spread uniformly over one interval so the
   /// processes do not all fire at once.
   bool stagger_start = true;
+  /// 0 = every process schedules initiations (the paper's setup). k > 0 =
+  /// only processes 0..k-1 do — at 100k-1M hosts, letting all n schedule
+  /// periodic initiations serializes into one giant retry storm (and n
+  /// timer events); real deployments designate few initiators. Processes
+  /// beyond the limit still checkpoint when a request wave reaches them.
+  int initiator_limit = 0;
 };
 
 class CheckpointScheduler {

@@ -203,10 +203,14 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
   const sim::SimTime retry_delay = sim::seconds(5);
   MCK_ASSERT(interval > lookahead && retry_delay > lookahead);
   sim::Rng sched_rng(splitmix64(base));
+  const ProcessId n_init =
+      config.initiator_limit > 0
+          ? std::min<ProcessId>(config.initiator_limit, n)
+          : n;
   std::vector<sim::SimTime> due(static_cast<std::size_t>(n), sim::kTimeNever);
-  for (ProcessId p = 0; p < n; ++p) {
-    sim::SimTime first = interval / n * (p + 1) +
-                         sched_rng.exponential(interval / (4 * n));
+  for (ProcessId p = 0; p < n_init; ++p) {
+    sim::SimTime first = interval / n_init * (p + 1) +
+                         sched_rng.exponential(interval / (4 * n_init));
     if (first <= config.horizon) due[static_cast<std::size_t>(p)] = first;
   }
 

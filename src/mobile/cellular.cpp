@@ -1,24 +1,60 @@
 #include "mobile/cellular.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 #include "util/assert.hpp"
 
 namespace mck::mobile {
+
+namespace {
+
+/// Topology parameters come straight from user-facing flags, so bad
+/// values get a clear construction-time error instead of a raw assert (or
+/// a modulo-by-zero) deep in placement code.
+int validate_topology(int num_processes, const CellularParams& params) {
+  if (num_processes < 1) {
+    throw std::invalid_argument("cellular topology: num_processes must be "
+                                ">= 1, got " + std::to_string(num_processes));
+  }
+  if (params.num_mss <= 0) {
+    throw std::invalid_argument("cellular topology: num_mss must be > 0, "
+                                "got " + std::to_string(params.num_mss));
+  }
+  if (params.cells_per_mss <= 0) {
+    throw std::invalid_argument("cellular topology: cells_per_mss must be "
+                                "> 0, got " +
+                                std::to_string(params.cells_per_mss));
+  }
+  return num_processes;
+}
+
+}  // namespace
 
 CellularTransport::CellularTransport(sim::Simulator& sim, int num_processes,
                                      CellularParams params)
     : sim_(sim),
       params_(params),
-      sinks_(static_cast<std::size_t>(num_processes)),
+      sinks_(static_cast<std::size_t>(validate_topology(num_processes,
+                                                        params))),
       mss_of_(static_cast<std::size_t>(num_processes)),
+      cell_of_(static_cast<std::size_t>(num_processes)),
       disconnected_(static_cast<std::size_t>(num_processes), 0),
-      buffer_(static_cast<std::size_t>(num_processes)),
       comp_fifo_(num_processes),
       sys_fifo_(num_processes),
-      cell_medium_free_(static_cast<std::size_t>(params.num_mss), 0) {
-  MCK_ASSERT(num_processes > 0 && params_.num_mss > 0);
-  // MHs initially spread round-robin over the cells.
+      cell_medium_free_(
+          static_cast<std::size_t>(params.num_mss) *
+              static_cast<std::size_t>(std::max(params.cells_per_mss, 1)),
+          0) {
+  // Static placement: MHs spread round-robin over the cells; cell c hangs
+  // off MSS c % num_mss, which keeps mss_of(p) = p % num_mss for every
+  // cells_per_mss (see cell_of() in the header).
+  const int cells = num_cells();
   for (int p = 0; p < num_processes; ++p) {
-    mss_of_[static_cast<std::size_t>(p)] = p % params_.num_mss;
+    const int c = p % cells;
+    cell_of_[static_cast<std::size_t>(p)] = c;
+    mss_of_[static_cast<std::size_t>(p)] = c % params_.num_mss;
   }
 }
 
@@ -111,10 +147,9 @@ void CellularTransport::arrive(rt::Message msg, MssId routed_to) {
                         static_cast<std::uint8_t>(m.kind),
                         static_cast<std::uint16_t>(
                             mss_of_[static_cast<std::size_t>(m.dst)]),
-                        m.id,
-                        buffer_[static_cast<std::size_t>(m.dst)].size() + 1);
+                        m.id, buffer_[m.dst].size() + 1);
       }
-      buffer_[static_cast<std::size_t>(m.dst)].push_back(std::move(m));
+      buffer_[m.dst].push_back(std::move(m));
     } else {
       hand_to_process(std::move(m));
     }
@@ -140,7 +175,7 @@ sim::SimTime CellularTransport::transfer_bulk(ProcessId src,
     // a tentative checkpoint moves no data over the air.
     return sim_.now();
   }
-  MssId cell = mss_of_[static_cast<std::size_t>(src)];
+  const int cell = cell_of_[static_cast<std::size_t>(src)];
   sim::SimTime& free_at = cell_medium_free_[static_cast<std::size_t>(cell)];
   sim::SimTime start = std::max(sim_.now(), free_at);
   sim::SimTime end = start + wireless_tx(bytes);
@@ -155,6 +190,9 @@ void CellularTransport::handoff(ProcessId pid, MssId to) {
   if (mss_of_[static_cast<std::size_t>(pid)] == to) return;
   MssId from = mss_of_[static_cast<std::size_t>(pid)];
   mss_of_[static_cast<std::size_t>(pid)] = to;
+  // Cell `to` is served by MSS `to` (to < num_mss), so the moved MH lands
+  // in that MSS's first cell.
+  cell_of_[static_cast<std::size_t>(pid)] = to;
   ++handoffs_;
   if (tracer_ != nullptr) {
     tracer_->record(obs::TraceKind::kHandoff, sim_.now(), pid, 0, 0,
@@ -181,15 +219,20 @@ void CellularTransport::reconnect(ProcessId pid, MssId at) {
   MCK_ASSERT(at >= 0 && at < params_.num_mss);
   disconnected_[static_cast<std::size_t>(pid)] = 0;
   mss_of_[static_cast<std::size_t>(pid)] = at;
+  cell_of_[static_cast<std::size_t>(pid)] = at;
+  auto buffered = buffer_.find(pid);
   if (tracer_ != nullptr) {
     tracer_->record(obs::TraceKind::kReconnect, sim_.now(), pid, 0, 0,
                     static_cast<std::uint64_t>(at),
-                    buffer_[static_cast<std::size_t>(pid)].size());
+                    buffered != buffer_.end() ? buffered->second.size() : 0);
   }
   // The old MSS transfers the support information (buffered messages) to
   // the new MSS, which forwards them to the MH, in order.
   std::deque<rt::Message> pending;
-  pending.swap(buffer_[static_cast<std::size_t>(pid)]);
+  if (buffered != buffer_.end()) {
+    pending.swap(buffered->second);
+    buffer_.erase(buffered);
+  }
   sim::SimTime at_time = sim_.now() + params_.wired_latency;
   for (rt::Message& m : pending) {
     at_time += wireless_tx(m.size_bytes);

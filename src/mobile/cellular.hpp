@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,13 @@ namespace mck::mobile {
 
 struct CellularParams {
   int num_mss = 4;
+  /// Hierarchical topology: each MSS serves this many wireless cells, so
+  /// the system has num_mss * cells_per_mss cells total. The default of 1
+  /// is the paper's flat topology (one cell per MSS). Scaling the
+  /// population means scaling cells (each an independent wireless medium)
+  /// much faster than backbone routers, which is what large deployments
+  /// do: num_mss stays modest while cells_per_mss absorbs n.
+  int cells_per_mss = 1;
   double wireless_bps = 2e6;   // IEEE 802.11 LAN per cell
   double wired_bps = 100e6;    // MSS backbone
   sim::SimTime wired_latency = sim::milliseconds(1);   // per backbone hop
@@ -61,6 +69,16 @@ class CellularTransport final : public rt::Transport {
     return mss_of_[static_cast<std::size_t>(pid)];
   }
   int num_mss() const { return params_.num_mss; }
+
+  /// Hierarchical topology: the wireless cell hosting `pid`. Cell c is
+  /// served by MSS c % num_mss, so with the static round-robin placement
+  /// cell_of(p) = p % num_cells and mss_of(p) = p % num_mss — the flat
+  /// topology's MSS assignment (and therefore PR 6's per-MSS shard
+  /// ownership) is unchanged for every cells_per_mss.
+  int cell_of(ProcessId pid) const {
+    return cell_of_[static_cast<std::size_t>(pid)];
+  }
+  int num_cells() const { return params_.num_mss * params_.cells_per_mss; }
 
   /// Moves the MH hosting `pid` into the cell of `to`.
   void handoff(ProcessId pid, MssId to);
@@ -131,8 +149,11 @@ class CellularTransport final : public rt::Transport {
   std::vector<std::uint8_t> owned_;  // sharded mode: pids this region runs
   EmitFn emit_;                      // sharded mode: cross-region handoff
   std::vector<MssId> mss_of_;
+  std::vector<int> cell_of_;
   std::vector<std::uint8_t> disconnected_;
-  std::vector<std::deque<rt::Message>> buffer_;  // per disconnected pid
+  // Lazily created per *disconnected* pid (a dense vector of deques is
+  // ~600 B per process whether or not it ever disconnects — fatal at 1M).
+  std::unordered_map<ProcessId, std::deque<rt::Message>> buffer_;
   // FIFO is enforced separately for computation and system messages: the
   // MSS proxies system messages for a disconnected MH (Section 2.2) while
   // its computation messages sit in the buffer, so the two classes may

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
+#include <vector>
 
 #include "rt/message.hpp"
 #include "util/assert.hpp"
@@ -16,9 +18,18 @@ namespace mck::net {
 
 class FifoSequencer {
  public:
-  explicit FifoSequencer(int num_processes)
-      : n_(num_processes),
-        chans_(static_cast<std::size_t>(num_processes) * num_processes) {}
+  /// Small populations get a dense n*n channel table (no hashing on the
+  /// per-message hot path); past the threshold the table would be
+  /// quadratic in n (16 hosts: 16 KB; 1M hosts: ~64 TB), so channels are
+  /// created lazily in a hash map keyed by (src, dst). A channel that was
+  /// never touched is identical to a default-constructed Chan, so the two
+  /// storage modes behave the same.
+  explicit FifoSequencer(int num_processes) : n_(num_processes) {
+    if (num_processes <= kDenseLimit) {
+      dense_.resize(static_cast<std::size_t>(num_processes) *
+                    static_cast<std::size_t>(num_processes));
+    }
+  }
 
   /// Stamps a message with its channel sequence number. Must be called in
   /// send order.
@@ -53,6 +64,8 @@ class FifoSequencer {
   }
 
  private:
+  static constexpr int kDenseLimit = 256;
+
   struct Chan {
     std::uint64_t next_send = 0;
     std::uint64_t next_deliver = 0;
@@ -60,12 +73,16 @@ class FifoSequencer {
   };
 
   Chan& chan(ProcessId src, ProcessId dst) {
-    return chans_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
-                  static_cast<std::size_t>(dst)];
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(n_) +
+        static_cast<std::uint64_t>(dst);
+    if (!dense_.empty()) return dense_[static_cast<std::size_t>(key)];
+    return sparse_[key];
   }
 
   int n_;
-  std::vector<Chan> chans_;
+  std::vector<Chan> dense_;                    // n <= kDenseLimit
+  std::unordered_map<std::uint64_t, Chan> sparse_;  // lazily created
 };
 
 }  // namespace mck::net

@@ -74,7 +74,11 @@ struct Round {
   std::vector<util::Weight> given;
   std::vector<util::Weight> spent;
   util::Weight last_acc;
-  bool acc_seen = false;
+  // Records contributing to the ledger. Trace weights are IEEE doubles,
+  // so each record is faithful only to ~2^-53 absolute (weights and
+  // accumulators are <= 1); a ledger imbalance below weight_records *
+  // 2^-53 is quantization of deep split chains, not a forged weight.
+  std::uint64_t weight_records = 0;
 };
 
 sim::SimTime clamp_time(sim::SimTime v, sim::SimTime lo, sim::SimTime hi) {
@@ -330,6 +334,7 @@ void audit_records(const std::vector<TraceRecord>& records, int num_processes,
       case TraceKind::kWeightSplit: {
         Round& rd = round_of(r.arg0);
         rd.has_weight = true;
+        ++rd.weight_records;
         util::Weight w = util::Weight::from_double_bits(r.arg1);
         if (w.is_zero()) {
           violate(AuditCheck::kWeight, r.at, r.arg0,
@@ -346,14 +351,17 @@ void audit_records(const std::vector<TraceRecord>& records, int num_processes,
       case TraceKind::kWeightReturn: {
         Round& rd = round_of(r.arg0);
         rd.has_weight = true;
+        ++rd.weight_records;
         util::Weight acc = util::Weight::from_double_bits(r.arg1);
         util::Weight diff = acc;
-        if (!diff.try_subtract(rd.last_acc) ||
-            (rd.acc_seen && diff.is_zero())) {
+        // A decrease is forged; an exactly-unchanged accumulator is a
+        // return smaller than half an ulp of acc — below the recorded
+        // doubles' resolution, so it neither violates nor credits spent.
+        if (!diff.try_subtract(rd.last_acc)) {
           if (!rd.weight_flagged) {
             rd.weight_flagged = true;
             violate(AuditCheck::kWeight, r.at, r.arg0,
-                    fmt("accumulated weight did not increase on the return "
+                    fmt("accumulated weight decreased on the return "
                         "from P%u (%.17g -> %.17g)",
                         static_cast<unsigned>(r.aux), rd.last_acc.to_double(),
                         acc.to_double()));
@@ -363,7 +371,6 @@ void audit_records(const std::vector<TraceRecord>& records, int num_processes,
           rd.spent[r.aux].add(diff);
         }
         rd.last_acc = acc;
-        rd.acc_seen = true;
         break;
       }
       default:
@@ -384,10 +391,18 @@ void audit_records(const std::vector<TraceRecord>& records, int num_processes,
       rd.given[static_cast<std::size_t>(rd.initiator)].add(
           util::Weight::one());
     }
+    // Measurement floor: every contributing record may be off by half an
+    // ulp of a value <= 1, so only an excess above weight_records * 2^-53
+    // is distinguishable from quantization (see Round::weight_records).
+    const double quant_floor =
+        static_cast<double>(rd.weight_records) * 0x1p-53;
     for (int p = 0; p < num_processes; ++p) {
       const util::Weight& spent = rd.spent[static_cast<std::size_t>(p)];
       const util::Weight& given = rd.given[static_cast<std::size_t>(p)];
       if (given < spent) {
+        util::Weight excess = spent;
+        excess.try_subtract(given);
+        if (excess.to_double() <= quant_floor) continue;
         violate(AuditCheck::kWeight,
                 rd.committed_at >= 0 ? rd.committed_at : rd.started_at,
                 initiation,

@@ -47,9 +47,14 @@ TEST(Codec, CompNullTriggerRoundTrip) {
 
 TEST(Codec, RequestRoundTripWithDeepWeight) {
   RequestPayload p;
-  for (int i = 0; i < 16; ++i) {
-    p.mr.push_back(MrEntry{static_cast<Csn>(i * 3), i % 2 == 0});
+  // Sparse, gappy MR slots — including a far-away pid to exercise the
+  // delta encoding.
+  for (int i = 1; i < 16; i += 3) {
+    p.mr.put(static_cast<std::size_t>(i),
+             MrEntry{static_cast<Csn>(i * 3),
+                     static_cast<std::uint8_t>(i % 2 == 0 ? 1 : 0)});
   }
+  p.mr.put(900000, MrEntry{7, 1});
   p.sender_csn = 9;
   p.trigger = Trigger{3, 4};
   p.req_csn = 2;
@@ -57,12 +62,9 @@ TEST(Codec, RequestRoundTripWithDeepWeight) {
 
   auto q = roundtrip(p);
   ASSERT_NE(q, nullptr);
-  ASSERT_EQ(q->mr.size(), 16u);
-  for (int i = 0; i < 16; ++i) {
-    EXPECT_EQ(q->mr[static_cast<std::size_t>(i)].csn,
-              static_cast<Csn>(i * 3));
-    EXPECT_EQ(q->mr[static_cast<std::size_t>(i)].requested != 0, i % 2 == 0);
-  }
+  EXPECT_EQ(q->mr, p.mr);
+  EXPECT_EQ(q->mr.get(900000), (MrEntry{7, 1}));
+  EXPECT_TRUE(q->mr.get(2).is_default());
   EXPECT_EQ(q->sender_csn, 9u);
   EXPECT_EQ(q->req_csn, 2u);
   EXPECT_EQ(q->weight, deep_weight(200));  // bit-exact
@@ -74,7 +76,7 @@ TEST(Codec, ReplyRoundTripWithDepsAndFailures) {
   p.weight = deep_weight(5);
   p.refused = true;
   p.failed_observed = {3, 9};
-  p.deps = util::BitVec(12);
+  p.deps = util::IntervalSet(12);
   p.deps.set(0);
   p.deps.set(7);
   p.deps.set(11);
@@ -94,7 +96,7 @@ TEST(Codec, ReplyRoundTripWithDepsAndFailures) {
 TEST(Codec, CommitAbortClearRoundTrips) {
   CommitPayload c;
   c.trigger = Trigger{5, 6};
-  c.abort_set = util::BitVec(9);
+  c.abort_set = util::IntervalSet(9);
   c.abort_set.set(4);
   auto c2 = roundtrip(c);
   ASSERT_NE(c2, nullptr);
@@ -112,7 +114,7 @@ TEST(Codec, CommitAbortClearRoundTrips) {
 
 TEST(Codec, TruncatedBuffersRejected) {
   RequestPayload p;
-  p.mr.assign(8, MrEntry{1, 1});
+  for (std::size_t i = 0; i < 8; ++i) p.mr.put(i * 5, MrEntry{1, 1});
   p.trigger = Trigger{0, 1};
   p.weight = deep_weight(70);
   std::vector<std::uint8_t> bytes = encode(p);
@@ -137,31 +139,70 @@ TEST(Codec, UnknownTagRejected) {
   EXPECT_EQ(decode(bytes), nullptr);
 }
 
-TEST(Codec, RequestSizeGrowsWithN) {
-  auto request_size = [](int n) {
+TEST(Codec, RequestSizeGrowsWithActiveSlotsNotUniverse) {
+  // Size is a function of *touched* slots, not of n: a request in a
+  // 1M-host system with k active dependencies costs the same bytes as in
+  // a 16-host system with k active dependencies.
+  auto request_size = [](int active, std::size_t stride) {
     RequestPayload p;
-    p.mr.assign(static_cast<std::size_t>(n), MrEntry{});
+    for (int i = 0; i < active; ++i) {
+      p.mr.put(static_cast<std::size_t>(i) * stride, MrEntry{3, 1});
+    }
     p.weight = util::Weight::one();
     return wire_size(p);
   };
-  std::uint64_t s16 = request_size(16);
-  std::uint64_t s64 = request_size(64);
-  std::uint64_t s256 = request_size(256);
+  std::uint64_t s4 = request_size(4, 1);
+  std::uint64_t s16 = request_size(16, 1);
+  std::uint64_t s64 = request_size(64, 1);
+  EXPECT_LT(s4, s16);
   EXPECT_LT(s16, s64);
-  EXPECT_LT(s64, s256);
-  // 5 bytes per MR entry.
-  EXPECT_EQ(s64 - s16, (64u - 16u) * 5u);
-  // The paper's flat 50 B budget is optimistic already at N = 16.
-  EXPECT_GT(s16, 50u);
+  // Spreading the same 16 slots across a 1M-pid universe costs only the
+  // wider varint gaps, far below the dense form's ~1 byte per process.
+  std::uint64_t s16_sparse = request_size(16, 62500);
+  EXPECT_LT(s16_sparse, s16 + 16u * 4u);
+  // An empty dependency set over any universe is a handful of bytes.
+  EXPECT_LT(request_size(0, 1), 50u);
 }
 
 TEST(Codec, WeightDepthInflatesRequests) {
   RequestPayload a, b;
-  a.mr.assign(16, MrEntry{});
-  b.mr.assign(16, MrEntry{});
   a.weight = deep_weight(10);    // 1 limb
   b.weight = deep_weight(500);   // 8 limbs
   EXPECT_GT(wire_size(b), wire_size(a));
+}
+
+TEST(Codec, MalformedSparsePayloadsRejected) {
+  // A hand-built request whose MR slot is the default entry (the encoder
+  // never emits those) must be rejected, as must an interval set whose
+  // intervals leave the universe or overlap.
+  {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(rt::PayloadTag::kRequest));
+    w.vu64(1);  // one MR slot...
+    w.vu32(3);  // pid 3
+    w.vu32(0);  // csn 0
+    w.u8(0);    // requested 0 -> default entry, malformed
+    w.vu32(0);  // sender_csn
+    w.zz32(-1); // trigger pid
+    w.vu32(0);  // trigger inum
+    w.vu32(0);  // req_csn
+    w.u64(1);   // weight integer
+    w.u16(0);   // weight fraction limbs
+    std::vector<std::uint8_t> bytes = w.take();
+    EXPECT_EQ(decode(bytes), nullptr);
+  }
+  {
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(rt::PayloadTag::kCommit));
+    w.zz32(2);   // trigger pid
+    w.vu32(5);   // trigger inum
+    w.vu64(8);   // universe of 8...
+    w.vu64(1);   // one interval
+    w.vu32(6);   // lo = 6
+    w.vu32(7);   // len = 7 -> hi = 13 > universe, malformed
+    std::vector<std::uint8_t> bytes = w.take();
+    EXPECT_EQ(decode(bytes), nullptr);
+  }
 }
 
 TEST(Codec, HonestByteAccountingEndToEnd) {

@@ -2,6 +2,9 @@
 // (dedicated and shared medium), and cellular transport mechanics.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "mobile/cellular.hpp"
 #include "net/fifo.hpp"
 #include "net/lan.hpp"
@@ -88,6 +91,30 @@ TEST(FifoSequencer, LongReorderDrainsCompletely) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i].channel_seq, i);
   }
+}
+
+TEST(FifoSequencer, SparseStorageAboveDenseLimitBehavesIdentically) {
+  // Past 256 processes the sequencer switches from the dense n*n channel
+  // table to lazily-created hash-map channels; ordering semantics must
+  // not change. Exercise channels spread across the (src, dst) space.
+  const int n = 1000;
+  net::FifoSequencer fifo(n);
+  for (ProcessId src : {0, 257, 999}) {
+    const ProcessId dst = (src + 511) % n;
+    rt::Message a = make_msg(src, dst, 10), b = make_msg(src, dst, 10);
+    fifo.stamp(a);
+    fifo.stamp(b);
+    EXPECT_TRUE(arrive_collect(fifo, b).empty());
+    auto out = arrive_collect(fifo, a);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].channel_seq, 0u);
+    EXPECT_EQ(out[1].channel_seq, 1u);
+  }
+  // Reverse-direction channel is independent of the forward one.
+  rt::Message r = make_msg(511, 0, 10);
+  fifo.stamp(r);
+  EXPECT_EQ(r.channel_seq, 0u);
+  EXPECT_EQ(arrive_collect(fifo, r).size(), 1u);
 }
 
 // ---------------------------------------------------------------------
@@ -267,6 +294,57 @@ TEST(CellularTransport, HandoffToSameCellIsNoop) {
   EXPECT_EQ(f.cell.handoffs(), 0u);
   f.cell.handoff(0, (cur + 1) % f.cell.num_mss());
   EXPECT_EQ(f.cell.handoffs(), 1u);
+}
+
+TEST(CellularTransport, TopologyParamsValidatedAtConstruction) {
+  sim::Simulator sim;
+  mobile::CellularParams bad_mss;
+  bad_mss.num_mss = 0;
+  EXPECT_THROW(mobile::CellularTransport(sim, 4, bad_mss),
+               std::invalid_argument);
+  mobile::CellularParams bad_cells;
+  bad_cells.cells_per_mss = -1;
+  EXPECT_THROW(mobile::CellularTransport(sim, 4, bad_cells),
+               std::invalid_argument);
+  EXPECT_THROW(mobile::CellularTransport(sim, 0, {}), std::invalid_argument);
+
+  // The thrown message names the offending parameter.
+  try {
+    mobile::CellularTransport t(sim, 4, bad_mss);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("num_mss"), std::string::npos);
+  }
+}
+
+TEST(CellularTransport, HierarchicalPlacementInvariants) {
+  mobile::CellularParams params;
+  params.num_mss = 3;
+  params.cells_per_mss = 4;
+  const int n = 40;
+  CellFixture f(n, params);
+  EXPECT_EQ(f.cell.num_cells(), 12);
+  for (ProcessId p = 0; p < n; ++p) {
+    // Static round-robin placement over the cells...
+    EXPECT_EQ(f.cell.cell_of(p), p % f.cell.num_cells());
+    // ...and cell c hangs off MSS c % num_mss, so the flat topology's MSS
+    // assignment is preserved for every cells_per_mss.
+    EXPECT_EQ(f.cell.mss_of(p), f.cell.cell_of(p) % params.num_mss);
+    EXPECT_EQ(f.cell.mss_of(p), p % params.num_mss);
+  }
+}
+
+TEST(CellularTransport, BulkSerializesPerCellNotPerMss) {
+  mobile::CellularParams params;
+  params.num_mss = 1;
+  params.cells_per_mss = 2;
+  CellFixture f(4, params);  // cells: P0,P2 in 0; P1,P3 in 1 — one MSS
+  sim::SimTime a = f.cell.transfer_bulk(0, 500000);  // cell 0
+  sim::SimTime b = f.cell.transfer_bulk(1, 500000);  // cell 1: parallel
+  sim::SimTime c = f.cell.transfer_bulk(2, 500000);  // cell 0: queued
+  EXPECT_EQ(a, sim::seconds(2));
+  EXPECT_EQ(b, sim::seconds(2));
+  EXPECT_EQ(c, sim::seconds(4));
 }
 
 

@@ -182,19 +182,21 @@ std::vector<std::vector<std::uint8_t>> all_encodings() {
   comp.trigger = core::Trigger{1, 2};
   add(comp);
   core::RequestPayload req;
-  req.mr.assign(10, core::MrEntry{5, 1});
+  for (std::size_t i = 0; i < 10; ++i) req.mr.put(i, core::MrEntry{5, 1});
   req.trigger = core::Trigger{0, 1};
   req.weight = util::Weight::one();
   add(req);
   core::ReplyPayload rep;
   rep.trigger = core::Trigger{0, 1};
-  rep.deps = util::BitVec(16);
+  rep.deps = util::IntervalSet(16);
   rep.deps.set(3);
   rep.failed_observed = {2};
   add(rep);
   core::CommitPayload com;
   com.trigger = core::Trigger{0, 1};
-  com.abort_set = util::BitVec(16);
+  com.abort_set = util::IntervalSet(16);
+  com.abort_set.set(4);
+  com.abort_set.set(5);
   add(com);
   core::AbortPayload ab;
   ab.trigger = core::Trigger{0, 1};

@@ -1,0 +1,344 @@
+// Randomized property tests pinning the sparse dependency structures to
+// their dense counterparts: every mixed set/merge/reset/iterate workload
+// must leave an IntervalSet element-for-element equal to the BitVec the
+// dense path would hold, and a SparseCsnMap / SparseMr equal to the dense
+// arrays they replace. This is the dense-equivalence invariant DESIGN.md
+// relies on when arguing the n=16 goldens stay byte-identical after the
+// sparse refactor.
+//
+// Also fuzzes the delta/varint codec for the sparse payloads: random
+// gappy structures round-trip exactly, every strict prefix of an encoding
+// is rejected, and random single-byte corruption never crashes the
+// decoder.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/codec.hpp"
+#include "core/payloads.hpp"
+#include "util/bitvec.hpp"
+#include "util/interval_set.hpp"
+#include "util/sparse_csn.hpp"
+
+namespace mck {
+namespace {
+
+// ---- IntervalSet vs dense BitVec --------------------------------------
+
+void expect_equivalent(const util::IntervalSet& s, const util::BitVec& d) {
+  ASSERT_EQ(s.size(), d.size());
+  EXPECT_EQ(s.count(), d.count());
+  EXPECT_EQ(s.any(), d.any());
+  EXPECT_EQ(s.to_string(), d.to_string());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    ASSERT_EQ(s.test(i), d.test(i)) << "element " << i;
+  }
+  // for_each must visit in the dense loop's ascending order.
+  std::vector<std::size_t> visited;
+  s.for_each([&visited](std::size_t i) { visited.push_back(i); });
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d.test(i)) expected.push_back(i);
+  }
+  EXPECT_EQ(visited, expected);
+  // The interval list itself must be canonical: sorted, disjoint,
+  // non-adjacent, non-empty.
+  const auto& iv = s.intervals();
+  for (std::size_t k = 0; k < iv.size(); ++k) {
+    ASSERT_LT(iv[k].lo, iv[k].hi);
+    ASSERT_LE(iv[k].hi, s.size());
+    if (k > 0) ASSERT_GT(iv[k].lo, iv[k - 1].hi);
+  }
+}
+
+bool dense_intersects(const util::BitVec& a, const util::BitVec& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.test(i) && b.test(i)) return true;
+  }
+  return false;
+}
+
+TEST(SparseProperty, IntervalSetMatchesDenseBitVec) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                        std::size_t{65}, std::size_t{193}}) {
+    std::mt19937 rng(0xC0FFEE ^ static_cast<std::uint32_t>(n));
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    std::uniform_int_distribution<int> op(0, 99);
+
+    util::IntervalSet sa(n), sb(n);
+    util::BitVec da(n), db(n);
+    for (int step = 0; step < 3000; ++step) {
+      const int o = op(rng);
+      const bool on_a = (o & 1) != 0;
+      util::IntervalSet& s = on_a ? sa : sb;
+      util::BitVec& d = on_a ? da : db;
+      if (o < 55) {
+        const std::size_t i = pick(rng);
+        s.set(i);
+        d.set(i);
+      } else if (o < 80) {
+        const std::size_t i = pick(rng);
+        s.set(i, false);
+        d.set(i, false);
+      } else if (o < 90) {
+        // Set a run, the clustered pattern intervals are built for.
+        const std::size_t lo = pick(rng);
+        const std::size_t hi = std::min(n, lo + 1 + pick(rng) % 8);
+        for (std::size_t i = lo; i < hi; ++i) {
+          s.set(i);
+          d.set(i);
+        }
+      } else if (o < 96) {
+        if (on_a) {
+          sa.merge(sb);
+          da.merge(db);
+        } else {
+          sb.merge(sa);
+          db.merge(da);
+        }
+      } else {
+        s.reset();
+        d.reset();
+      }
+      if (step % 250 == 0) {
+        expect_equivalent(sa, da);
+        expect_equivalent(sb, db);
+        EXPECT_EQ(sa.intersects(sb), dense_intersects(da, db));
+        EXPECT_EQ(sb.intersects(sa), dense_intersects(da, db));
+      }
+    }
+    expect_equivalent(sa, da);
+    expect_equivalent(sb, db);
+    EXPECT_EQ(sa.intersects(sb), dense_intersects(da, db));
+  }
+}
+
+TEST(SparseProperty, IntervalSetAppendRejectsMalformed) {
+  util::IntervalSet s(100);
+  EXPECT_FALSE(s.append_interval(5, 5));    // empty
+  EXPECT_FALSE(s.append_interval(9, 8));    // reversed
+  EXPECT_FALSE(s.append_interval(90, 101)); // past the universe
+  EXPECT_TRUE(s.append_interval(10, 20));
+  EXPECT_FALSE(s.append_interval(15, 30));  // overlaps
+  EXPECT_FALSE(s.append_interval(20, 30));  // adjacent (not canonical)
+  EXPECT_FALSE(s.append_interval(5, 8));    // out of order
+  EXPECT_TRUE(s.append_interval(21, 30));
+  EXPECT_EQ(s.count(), 19u);
+  // The failed appends left the set untouched.
+  EXPECT_EQ(s.intervals().size(), 2u);
+}
+
+// ---- SparseCsnMap vs dense vector -------------------------------------
+
+void expect_equivalent(const util::SparseCsnMap& s,
+                       const std::vector<Csn>& d) {
+  ASSERT_EQ(s.size(), d.size());
+  std::size_t nonzero = 0;
+  for (std::size_t p = 0; p < d.size(); ++p) {
+    ASSERT_EQ(s.get(p), d[p]) << "pid " << p;
+    if (d[p] != 0) ++nonzero;
+  }
+  EXPECT_EQ(s.active(), nonzero);
+  std::vector<std::pair<std::size_t, Csn>> visited;
+  s.for_each([&visited](std::size_t p, Csn v) { visited.emplace_back(p, v); });
+  std::vector<std::pair<std::size_t, Csn>> expected;
+  for (std::size_t p = 0; p < d.size(); ++p) {
+    if (d[p] != 0) expected.emplace_back(p, d[p]);
+  }
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(SparseProperty, SparseCsnMapMatchesDenseVector) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{17}, std::size_t{300}}) {
+    std::mt19937 rng(0xBEEF ^ static_cast<std::uint32_t>(n));
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    std::uniform_int_distribution<int> op(0, 99);
+    std::uniform_int_distribution<Csn> val(0, 12);  // 0 must be a no-op
+
+    util::SparseCsnMap s(n);
+    std::vector<Csn> d(n, 0);
+    for (int step = 0; step < 4000; ++step) {
+      const int o = op(rng);
+      const std::size_t p = pick(rng);
+      if (o < 55) {
+        const Csn v = val(rng);
+        s.raise(p, v);
+        if (v > d[p]) d[p] = v;
+      } else if (o < 90) {
+        const Csn got = s.bump(p);
+        d[p] += 1;
+        EXPECT_EQ(got, d[p]);
+      } else if (o < 98) {
+        EXPECT_EQ(s.get(p), d[p]);
+      } else {
+        s.assign(n);
+        d.assign(n, 0);
+      }
+      if (step % 400 == 0) expect_equivalent(s, d);
+    }
+    expect_equivalent(s, d);
+  }
+}
+
+// ---- SparseMr vs dense vector -----------------------------------------
+
+TEST(SparseProperty, SparseMrMatchesDenseVector) {
+  const std::size_t n = 200;
+  std::mt19937 rng(0xDEAD);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  std::uniform_int_distribution<int> op(0, 99);
+  std::uniform_int_distribution<Csn> val(0, 9);
+
+  core::SparseMr s;
+  std::vector<core::MrEntry> d(n);
+  for (int step = 0; step < 4000; ++step) {
+    const int o = op(rng);
+    const std::size_t p = pick(rng);
+    if (o < 40) {
+      const core::MrEntry e{val(rng),
+                            static_cast<std::uint8_t>(op(rng) & 1)};
+      s.put(p, e);
+      d[p] = e;
+    } else if (o < 70) {
+      const Csn v = val(rng);
+      s.raise_csn(p, v);
+      if (v > d[p].csn) d[p].csn = v;
+    } else if (o < 90) {
+      s.mark_requested(p);
+      d[p].requested = 1;
+    } else {
+      s.put(p, core::MrEntry{});  // dense write of the default erases
+      d[p] = core::MrEntry{};
+    }
+    if (step % 400 == 0) {
+      std::size_t active = 0;
+      for (std::size_t q = 0; q < n; ++q) {
+        ASSERT_EQ(s.get(q), d[q]) << "pid " << q;
+        if (!d[q].is_default()) ++active;
+      }
+      EXPECT_EQ(s.active(), active);
+    }
+  }
+  std::vector<std::size_t> visited;
+  s.for_each([&visited](std::size_t p, core::MrEntry e) {
+    EXPECT_FALSE(e.is_default());
+    visited.push_back(p);
+  });
+  for (std::size_t i = 1; i < visited.size(); ++i) {
+    EXPECT_LT(visited[i - 1], visited[i]);
+  }
+}
+
+TEST(SparseProperty, SparseMrAppendRejectsMalformed) {
+  core::SparseMr s;
+  EXPECT_FALSE(s.append(3, core::MrEntry{}));  // default slot
+  EXPECT_TRUE(s.append(3, core::MrEntry{1, 0}));
+  EXPECT_FALSE(s.append(3, core::MrEntry{2, 1}));  // duplicate pid
+  EXPECT_FALSE(s.append(1, core::MrEntry{2, 1}));  // out of order
+  EXPECT_TRUE(s.append(900000, core::MrEntry{2, 1}));
+  EXPECT_EQ(s.active(), 2u);
+}
+
+// ---- codec fuzz over the delta-encoded payloads -----------------------
+
+util::IntervalSet random_iset(std::mt19937& rng, std::size_t n) {
+  util::IntervalSet s(n);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  std::uniform_int_distribution<int> runs(0, 6);
+  const int k = runs(rng);
+  for (int r = 0; r < k; ++r) {
+    const std::size_t lo = pick(rng);
+    const std::size_t hi = std::min(n, lo + 1 + pick(rng) % 64);
+    for (std::size_t i = lo; i < hi; ++i) s.set(i);
+  }
+  return s;
+}
+
+core::SparseMr random_mr(std::mt19937& rng, std::size_t n) {
+  core::SparseMr mr;
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  std::uniform_int_distribution<Csn> val(1, 1u << 20);
+  std::uniform_int_distribution<int> slots(0, 8);
+  const int k = slots(rng);
+  for (int i = 0; i < k; ++i) {
+    mr.put(pick(rng), core::MrEntry{val(rng),
+                                    static_cast<std::uint8_t>(i & 1)});
+  }
+  return mr;
+}
+
+TEST(SparseProperty, CodecFuzzRoundTripTruncationCorruption) {
+  // Gappy pids across a 1M universe: the delta encoding's worst case.
+  const std::size_t n = 1u << 20;
+  std::mt19937 rng(0xF00D);
+  std::uniform_int_distribution<int> shape(0, 2);
+  std::uniform_int_distribution<Csn> val(1, 1u << 24);
+
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<std::uint8_t> bytes;
+    switch (shape(rng)) {
+      case 0: {
+        core::RequestPayload p;
+        p.trigger = core::Trigger{3, val(rng)};
+        p.sender_csn = val(rng);
+        p.req_csn = val(rng);
+        p.weight = util::Weight::one();
+        p.mr = random_mr(rng, n);
+        bytes = core::encode(p);
+        auto q = std::dynamic_pointer_cast<core::RequestPayload>(
+            core::decode(bytes));
+        ASSERT_NE(q, nullptr);
+        EXPECT_EQ(q->mr, p.mr);
+        EXPECT_EQ(q->req_csn, p.req_csn);
+        break;
+      }
+      case 1: {
+        core::ReplyPayload p;
+        p.trigger = core::Trigger{1, val(rng)};
+        p.weight = util::Weight::one();
+        p.deps = random_iset(rng, n);
+        bytes = core::encode(p);
+        auto q = std::dynamic_pointer_cast<core::ReplyPayload>(
+            core::decode(bytes));
+        ASSERT_NE(q, nullptr);
+        EXPECT_EQ(q->deps, p.deps);
+        break;
+      }
+      default: {
+        core::CommitPayload p;
+        p.trigger = core::Trigger{2, val(rng)};
+        p.abort_set = random_iset(rng, n);
+        bytes = core::encode(p);
+        auto q = std::dynamic_pointer_cast<core::CommitPayload>(
+            core::decode(bytes));
+        ASSERT_NE(q, nullptr);
+        EXPECT_EQ(q->abort_set, p.abort_set);
+        break;
+      }
+    }
+
+    // Every strict prefix must be rejected, never crash.
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_EQ(core::decode(rt::ByteView(bytes.data(), len)), nullptr)
+          << "prefix of length " << len << " accepted";
+    }
+
+    // Single-byte corruption must never crash; a surviving decode must
+    // itself re-encode (i.e. be a structurally valid payload).
+    std::uniform_int_distribution<std::size_t> at(0, bytes.size() - 1);
+    std::uniform_int_distribution<int> bit(0, 7);
+    for (int c = 0; c < 32; ++c) {
+      std::vector<std::uint8_t> fuzzed = bytes;
+      fuzzed[at(rng)] ^= static_cast<std::uint8_t>(1 << bit(rng));
+      std::shared_ptr<rt::Payload> out = core::decode(fuzzed);
+      if (out != nullptr) {
+        EXPECT_FALSE(core::encode(*out).empty());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mck
