@@ -32,6 +32,14 @@ void CaoSinghalProtocol::start() {
   R_ = IntervalSet(static_cast<std::size_t>(n));
   csn_.assign(static_cast<std::size_t>(n));
   dep_csn_.assign(static_cast<std::size_t>(n));
+  if (ctx_.arena != nullptr) {
+    // Long-lived sparse state spills into the region arena. Payload
+    // copies built from these (reply deps, request MRs) stay heap-backed:
+    // SmallVec copies never inherit the source arena.
+    R_.set_arena(ctx_.arena);
+    csn_.set_arena(ctx_.arena);
+    dep_csn_.set_arena(ctx_.arena);
+  }
   own_trigger_ = Trigger{self(), 0};
 }
 
@@ -42,7 +50,7 @@ ckpt::InitiationStats& CaoSinghalProtocol::init_stats(const Trigger& t) {
 void CaoSinghalProtocol::schedule_pending_reap(const Trigger& trigger) {
   if (opts_.decision_timeout <= 0) return;
   ctx_.sim->schedule_after(2 * opts_.decision_timeout, [this, trigger]() {
-    if (terminated_.count(trigger.initiation()) != 0) return;
+    if (initiation_terminated(trigger.initiation())) return;
     for (const PendingTentative& pt : pending_) {
       if (pt.trigger == trigger) {
         // The initiation's decision never reached us: its initiator is
@@ -161,12 +169,13 @@ void CaoSinghalProtocol::initiate() {
   (void)st;
 
   active_initiator_ = true;
-  acc_weight_ = Weight::zero();
-  self_weight_banked_ = false;
-  repliers_.clear();
-  abort_sent_ = false;
-  init_failed_.clear();
-  replier_deps_.clear();
+  InitiatorState& is = ist();
+  is.acc_weight = Weight::zero();
+  is.self_weight_banked = false;
+  is.repliers.clear();
+  is.abort_sent = false;
+  is.init_failed.clear();
+  is.replier_deps.clear();
 
   SparseMr mr;
   mr.put(static_cast<std::size_t>(me), MrEntry{inum, 1});
@@ -218,7 +227,7 @@ Weight CaoSinghalProtocol::prop_cp(const IntervalSet& deps,
         // Kim-Park: keep going; the initiator decides at termination who
         // commits and who aborts.
         if (trigger.pid == self()) {
-          init_failed_.push_back(k);
+          ist().init_failed.push_back(k);
         } else {
           observed_failures_.push_back(k);
         }
@@ -417,12 +426,12 @@ void CaoSinghalProtocol::send_reply(const Trigger& trigger, Weight weight,
 
 void CaoSinghalProtocol::bank_local_weight(const Trigger& t, Weight w) {
   if (!active_initiator_ || own_trigger_ != t) return;  // aborted meanwhile
-  acc_weight_.add(w);
-  self_weight_banked_ = self_weight_banked_ || true;
+  init_->acc_weight.add(w);
+  init_->self_weight_banked = true;
   if (ctx_.tracer != nullptr) {
     ctx_.tracer->record(obs::TraceKind::kWeightReturn, ctx_.sim->now(),
                         self(), 0, static_cast<std::uint16_t>(self()),
-                        t.initiation(), weight_bits(acc_weight_));
+                        t.initiation(), weight_bits(init_->acc_weight));
   }
   initiator_decide_commit();
 }
@@ -434,31 +443,33 @@ void CaoSinghalProtocol::handle_reply(const rt::Message& m,
     initiator_abort();
     return;
   }
+  InitiatorState& is = *init_;
   for (ProcessId f : p.failed_observed) {
-    if (std::find(init_failed_.begin(), init_failed_.end(), f) ==
-        init_failed_.end()) {
-      init_failed_.push_back(f);
+    if (std::find(is.init_failed.begin(), is.init_failed.end(), f) ==
+        is.init_failed.end()) {
+      is.init_failed.push_back(f);
     }
   }
   if (p.deps.size() != 0) {
-    replier_deps_.emplace_back(m.src, p.deps);
+    is.replier_deps.emplace_back(m.src, p.deps);
   }
-  acc_weight_.add(p.weight);
+  is.acc_weight.add(p.weight);
   if (ctx_.tracer != nullptr) {
     ctx_.tracer->record(obs::TraceKind::kWeightReturn, ctx_.sim->now(),
                         self(), 0, static_cast<std::uint16_t>(m.src),
-                        own_trigger_.initiation(), weight_bits(acc_weight_));
+                        own_trigger_.initiation(), weight_bits(is.acc_weight));
   }
-  if (std::find(repliers_.begin(), repliers_.end(), m.src) ==
-      repliers_.end()) {
-    repliers_.push_back(m.src);
+  if (std::find(is.repliers.begin(), is.repliers.end(), m.src) ==
+      is.repliers.end()) {
+    is.repliers.push_back(m.src);
   }
   initiator_decide_commit();
 }
 
 void CaoSinghalProtocol::initiator_decide_commit() {
-  if (!active_initiator_ || !self_weight_banked_) return;
-  if (!acc_weight_.is_one()) return;
+  if (!active_initiator_ || !init_->self_weight_banked) return;
+  if (!init_->acc_weight.is_one()) return;
+  InitiatorState& is = *init_;
 
   const Trigger t = own_trigger_;
   ckpt::InitiationStats& st = init_stats(t);
@@ -468,14 +479,14 @@ void CaoSinghalProtocol::initiator_decide_commit() {
   // dependency reports are complete and the Kim-Park abort closure can
   // be computed exactly.
   util::IntervalSet abort_set;
-  if (!init_failed_.empty()) {
+  if (!is.init_failed.empty()) {
     if (opts_.failure_mode != FailureMode::kPartialCommit) {
       initiator_abort();
       return;
     }
     abort_set =
         util::IntervalSet(static_cast<std::size_t>(ctx_.num_processes));
-    for (ProcessId f : init_failed_) {
+    for (ProcessId f : is.init_failed) {
       abort_set.set(static_cast<std::size_t>(f));
     }
     // "Certainly, the initiator and other processes which depend on the
@@ -484,7 +495,7 @@ void CaoSinghalProtocol::initiator_decide_commit() {
     bool changed = true;
     while (changed) {
       changed = false;
-      for (const auto& [pid, deps] : replier_deps_) {
+      for (const auto& [pid, deps] : is.replier_deps) {
         if (abort_set.test(static_cast<std::size_t>(pid))) continue;
         if (abort_set.intersects(deps)) {
           abort_set.set(static_cast<std::size_t>(pid));
@@ -502,15 +513,15 @@ void CaoSinghalProtocol::initiator_decide_commit() {
             st.tentative, st.mutables_taken, st.mutables_discarded);
 
   active_initiator_ = false;
-  self_weight_banked_ = false;
-  init_failed_.clear();
-  replier_deps_.clear();
+  is.self_weight_banked = false;
+  is.init_failed.clear();
+  is.replier_deps.clear();
 
   // Second phase (Section 3.3.4 / 3.3.5).
   const bool use_broadcast =
       opts_.commit_mode == CommitMode::kBroadcast ||
       (opts_.commit_mode == CommitMode::kHybrid &&
-       repliers_.size() > opts_.hybrid_threshold);
+       is.repliers.size() > opts_.hybrid_threshold);
   auto cp = util::make_pooled<CommitPayload>();
   cp->trigger = t;
   cp->abort_set = abort_set;
@@ -518,27 +529,28 @@ void CaoSinghalProtocol::initiator_decide_commit() {
     broadcast_system(rt::MsgKind::kCommit, cp);
     st.commits += static_cast<std::uint64_t>(ctx_.num_processes - 1);
   } else {
-    for (ProcessId p : repliers_) {
+    for (ProcessId p : is.repliers) {
       send_system(rt::MsgKind::kCommit, p, cp);
       ++st.commits;
     }
   }
-  repliers_.clear();
+  is.repliers.clear();
 
   // Local effect of the commit on the initiator itself.
   handle_clear(t, /*is_commit=*/true, abort_set.size() ? &abort_set : nullptr);
-  if (on_initiation_done) on_initiation_done(t, true);
+  if (is.on_initiation_done) is.on_initiation_done(t, true);
 }
 
 void CaoSinghalProtocol::initiator_abort() {
-  if (!active_initiator_ || abort_sent_) return;
+  if (!active_initiator_ || init_->abort_sent) return;
   const Trigger t = own_trigger_;
-  abort_sent_ = true;
+  InitiatorState& is = *init_;
+  is.abort_sent = true;
   active_initiator_ = false;
-  self_weight_banked_ = false;
-  repliers_.clear();
-  init_failed_.clear();
-  replier_deps_.clear();
+  is.self_weight_banked = false;
+  is.repliers.clear();
+  is.init_failed.clear();
+  is.replier_deps.clear();
   observed_failures_.clear();
 
   ckpt::InitiationStats& st = init_stats(t);
@@ -548,7 +560,7 @@ void CaoSinghalProtocol::initiator_abort() {
   broadcast_system(rt::MsgKind::kAbort, ap);
   st.aborts += static_cast<std::uint64_t>(ctx_.num_processes - 1);
   handle_abort(t);
-  if (on_initiation_done) on_initiation_done(t, false);
+  if (is.on_initiation_done) is.on_initiation_done(t, false);
 }
 
 // ---------------------------------------------------------------------
@@ -567,7 +579,7 @@ void CaoSinghalProtocol::handle_request(const rt::Message& m,
   // A late request for an initiation whose commit/abort we already saw:
   // answer (the weight is moot, its initiator has decided) but do not
   // checkpoint.
-  if (terminated_.count(p.trigger.initiation()) != 0) {
+  if (initiation_terminated(p.trigger.initiation())) {
     ++init_stats(p.trigger).duplicate_requests;
     send_reply(p.trigger, p.weight, false);
     return;
@@ -676,7 +688,7 @@ void CaoSinghalProtocol::handle_computation(const rt::Message& m) {
 
 void CaoSinghalProtocol::handle_clear(const Trigger& t, bool is_commit,
                                       const util::IntervalSet* abort_set) {
-  terminated_.insert(t.initiation());
+  mark_terminated(t.initiation());
   csn_.raise(static_cast<std::size_t>(t.pid), t.inum);
 
   bool had_effect = false;
@@ -751,7 +763,7 @@ void CaoSinghalProtocol::handle_commit(const Trigger& t,
 }
 
 void CaoSinghalProtocol::handle_abort(const Trigger& t) {
-  terminated_.insert(t.initiation());
+  mark_terminated(t.initiation());
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     if (pending_[i].trigger != t) continue;
     PendingTentative pt = pending_[i];

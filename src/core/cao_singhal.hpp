@@ -25,9 +25,9 @@
 //    block meanwhile — this is the paper's precopy discussion (5.2).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "core/payloads.hpp"
@@ -110,8 +110,12 @@ class CaoSinghalProtocol final : public rt::CheckpointProtocol {
   const Trigger& own_trigger() const { return own_trigger_; }
   std::size_t mutable_count() const { return mutables_.size(); }
 
-  /// Fired when this process (as initiator) commits or aborts.
-  std::function<void(const Trigger&, bool committed)> on_initiation_done;
+  /// Fired when this process (as initiator) commits or aborts. Lives in
+  /// the lazily-allocated initiator block; assigning through this
+  /// accessor materializes it.
+  std::function<void(const Trigger&, bool committed)>& on_initiation_done() {
+    return ist().on_initiation_done;
+  }
 
   /// Section 2.2: deposits a disconnect_checkpoint at the local MSS just
   /// before the MH disconnects (one checkpoint transfer over the air).
@@ -227,16 +231,27 @@ class CaoSinghalProtocol final : public rt::CheckpointProtocol {
   std::vector<PendingTentative> pending_;
   std::vector<ProcessId> cp_send_history_;  // update-approach (3.3.5)
 
-  // --- initiator bookkeeping ---
+  // --- initiator bookkeeping, allocated on first initiate(). Only
+  // initiators (a handful of the population, bounded by the harness
+  // initiator limit) ever touch any of this, and flat members would cost
+  // ~140 bytes in every one of a million protocol objects. ---
+  struct InitiatorState {
+    util::Weight acc_weight;  // accumulated from replies
+    bool self_weight_banked = false;
+    bool abort_sent = false;
+    std::vector<ProcessId> repliers;
+    // Kim-Park partial commit: failures reported by the request wave, and
+    // the repliers' dependency vectors for the abort-closure computation.
+    std::vector<ProcessId> init_failed;
+    std::vector<std::pair<ProcessId, util::IntervalSet>> replier_deps;
+    std::function<void(const Trigger&, bool committed)> on_initiation_done;
+  };
+  InitiatorState& ist() {
+    if (!init_) init_ = std::make_unique<InitiatorState>();
+    return *init_;
+  }
   bool active_initiator_ = false;
-  util::Weight acc_weight_;        // accumulated from replies
-  bool self_weight_banked_ = false;
-  std::vector<ProcessId> repliers_;
-  bool abort_sent_ = false;
-  // Kim-Park partial commit: failures reported by the request wave, and
-  // the repliers' dependency vectors for the abort-closure computation.
-  std::vector<ProcessId> init_failed_;
-  std::vector<std::pair<ProcessId, util::IntervalSet>> replier_deps_;
+  std::unique_ptr<InitiatorState> init_;
   // Participant side: failures observed while propagating; attached to
   // the next reply.
   std::vector<ProcessId> observed_failures_;
@@ -246,8 +261,19 @@ class CaoSinghalProtocol final : public rt::CheckpointProtocol {
   // path when the termination broadcast lands (e.g. an initiator that
   // detected a failed dependency aborts while its first-hop requests are
   // propagating); such late requests must be answered without taking a
-  // checkpoint, or the tentative would be orphaned forever.
-  std::set<ckpt::InitiationId> terminated_;
+  // checkpoint, or the tentative would be orphaned forever. Kept as a
+  // sorted inline vector: every commit/abort broadcast grows this on all
+  // n processes, and at n = 1M the former std::set cost a 64-byte heap
+  // node per entry per process (~450 MB for a handful of initiations).
+  bool initiation_terminated(ckpt::InitiationId id) const {
+    return std::binary_search(terminated_.begin(), terminated_.end(), id);
+  }
+  void mark_terminated(ckpt::InitiationId id) {
+    auto* it = std::lower_bound(terminated_.begin(), terminated_.end(), id);
+    if (it != terminated_.end() && *it == id) return;
+    terminated_.insert(it, id);
+  }
+  util::SmallVec<ckpt::InitiationId, 2> terminated_;
 };
 
 }  // namespace mck::core

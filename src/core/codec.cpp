@@ -377,7 +377,14 @@ std::shared_ptr<rt::Payload> decode(rt::ByteView bytes) {
 }
 
 std::uint64_t payload_bytes(const rt::Payload& payload) {
-  return encode(payload).size();
+  const PayloadCodec* c = find_codec(payload.tag());
+  if (c == nullptr) return 0;
+  // Measuring pass: runs the field codec against a counting writer, so
+  // per-message size accounting materializes (and allocates) nothing.
+  WireWriter w{WireWriter::Measure{}};
+  w.u8(static_cast<std::uint8_t>(payload.tag()));
+  c->put(w, payload);
+  return w.size();
 }
 
 std::uint64_t wire_size(const rt::Payload& payload) {

@@ -24,6 +24,7 @@
 
 #include "core/payloads.hpp"
 #include "rt/wire.hpp"
+#include "util/arena.hpp"
 
 namespace mck::core {
 
@@ -55,7 +56,18 @@ const rt::WireCodec* universal_codec();
 
 class WireWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  WireWriter() = default;
+
+  /// Measuring writer: size() accumulates but no byte is materialized.
+  /// This is the payload_bytes() hot path — record_wire_bytes asks for
+  /// the size of every message sent, so sizing must not allocate.
+  struct Measure {};
+  explicit WireWriter(Measure) : measure_(true) {}
+
+  void u8(std::uint8_t v) {
+    ++count_;
+    if (!measure_) buf_.push_back(v);
+  }
   void u16(std::uint16_t v) {
     u8(static_cast<std::uint8_t>(v));
     u8(static_cast<std::uint8_t>(v >> 8));
@@ -87,11 +99,19 @@ class WireWriter {
     vu64((u << 1) ^ static_cast<std::uint32_t>(v >> 31));
   }
 
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
-  std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() {
+    MCK_ASSERT(!measure_);
+    return std::vector<std::uint8_t>(buf_.begin(), buf_.end());
+  }
+  std::size_t size() const { return count_; }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  /// Inline scratch: typical payloads (a comp piggyback, a request with a
+  /// handful of MR slots) encode in well under 192 bytes, so a full
+  /// encode touches the heap only for the returned copy in take().
+  util::SmallVec<std::uint8_t, 192> buf_;
+  std::size_t count_ = 0;
+  bool measure_ = false;
 };
 
 /// Reads from a non-owning view, so transports can decode straight out of

@@ -6,6 +6,7 @@
 
 #include "core/trigger.hpp"
 #include "rt/message.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 #include "util/interval_set.hpp"
 #include "util/types.hpp"
@@ -43,6 +44,11 @@ class SparseMr {
     MrEntry e;
     bool operator==(const Slot&) const = default;
   };
+
+  /// Payloads cross region boundaries, so SparseMr storage is never
+  /// arena-backed: inline up to 4 slots, global heap beyond (see
+  /// util/arena.hpp ownership rules).
+  using Storage = util::SmallVec<Slot, 4>;
 
   SparseMr() = default;
 
@@ -94,7 +100,7 @@ class SparseMr {
   }
 
   std::size_t active() const { return slots_.size(); }
-  const std::vector<Slot>& slots() const { return slots_; }
+  const Storage& slots() const { return slots_; }
   bool operator==(const SparseMr&) const = default;
 
   /// Codec build path: slots must arrive in strictly ascending pid order
@@ -120,7 +126,7 @@ class SparseMr {
     return lo;
   }
 
-  std::vector<Slot> slots_;
+  Storage slots_;
 };
 
 struct RequestPayload final : rt::TaggedPayload<rt::PayloadTag::kRequest> {

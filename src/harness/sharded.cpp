@@ -1,6 +1,7 @@
 #include "harness/sharded.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "core/codec.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 #include "workload/traffic.hpp"
 
@@ -38,14 +40,28 @@ struct Region {
   std::unique_ptr<ckpt::CheckpointStore> store;
   ckpt::CoordinationTracker tracker;
   rt::RunStats stats;
+  /// Region-lifetime bump arena for the owned protocols' sparse-state
+  /// spill storage (rt::ProcessContext::arena). Declared before protos so
+  /// it outlives them during destruction.
+  util::Arena arena;
   std::unique_ptr<net::LanTransport> lan;
   std::unique_ptr<mobile::CellularTransport> cell;
   std::vector<std::unique_ptr<rt::CheckpointProtocol>> protos;  // by pid
   std::vector<ProcessId> owned;
   std::vector<Envelope> outbox;
+  /// Earliest arrival time among this region's cross-region emissions in
+  /// the current window (kTimeNever = none yet). Written by the emit
+  /// callback on the region's own lane, read by the same lane inside the
+  /// adaptive-bound run loop — no synchronization needed.
+  sim::SimTime emit_min = sim::kTimeNever;
   std::unique_ptr<workload::PointToPointWorkload> p2p;
   std::unique_ptr<workload::GroupWorkload> grp;
 };
+
+/// t + d without overflowing past kTimeNever (the "no bound" sentinel).
+sim::SimTime sat_add(sim::SimTime t, sim::SimTime d) {
+  return t >= sim::kTimeNever - d ? sim::kTimeNever : t + d;
+}
 
 }  // namespace
 
@@ -117,6 +133,7 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
             e.at = at;
             e.dst_region = static_cast<int>(msg.dst);
             e.msg = std::move(msg);
+            rp->emit_min = std::min(rp->emit_min, at);
             rp->outbox.push_back(std::move(e));
           });
     } else {
@@ -132,6 +149,7 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
             e.routed_to = routed_to;
             e.dst_region = static_cast<int>(routed_to);
             e.msg = std::move(msg);
+            rp->emit_min = std::min(rp->emit_min, at);
             rp->outbox.push_back(std::move(e));
           });
     }
@@ -158,6 +176,7 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
       ctx.timing = &sys.timing;
       ctx.codec = core::universal_codec();
       ctx.tracer = tracer;
+      ctx.arena = &reg.arena;
       proto->bind(ctx);
       reg.protos[static_cast<std::size_t>(p)] = std::move(proto);
     }
@@ -214,12 +233,12 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
     if (first <= config.horizon) due[static_cast<std::size_t>(p)] = first;
   }
 
-  auto next_t = [&]() {
-    sim::SimTime t = sim::kTimeNever;
-    for (auto& reg : regions) t = std::min(t, reg->sim.next_live_time());
-    for (sim::SimTime d : due) t = std::min(t, d);
-    return t;
-  };
+  // Incrementally tracked minimum of due[]: only process_dues changes the
+  // array, and it already walks every entry it touches, so the window
+  // loop never pays an O(n) due scan — at n = 1M that scan used to cost
+  // more than the events in a quiet window.
+  sim::SimTime min_due = sim::kTimeNever;
+  for (sim::SimTime d : due) min_due = std::min(min_due, d);
 
   auto any_coordination_active = [&]() {
     for (auto& reg : regions) {
@@ -239,8 +258,10 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
   // due-time by one interval — so this terminates, and every due-time
   // leaves the window or retires.
   auto process_dues = [&](sim::SimTime window_end) {
+    if (min_due >= window_end) return;  // nothing due: skip the scan
     bool granted = false;
     bool active = config.serialize_initiations && any_coordination_active();
+    sim::SimTime new_min = sim::kTimeNever;
     for (ProcessId p = 0; p < n; ++p) {
       std::size_t i = static_cast<std::size_t>(p);
       while (due[i] < window_end) {
@@ -261,20 +282,58 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
           break;
         }
       }
+      new_min = std::min(new_min, due[i]);
+    }
+    min_due = new_min;
+  };
+
+  // Worker lanes. Each window the engine publishes an explicit active
+  // list (only regions with an event inside the window); lane l runs
+  // entries l, l+lanes, ... of that list. Every per-window input below is
+  // written by the engine thread strictly before the epoch bump and read
+  // by lanes strictly after they observe it, so plain variables +
+  // release/acquire on `epoch` are enough.
+  const int lanes = std::min(shards, num_regions);
+  std::vector<int> active;
+  active.reserve(static_cast<std::size_t>(num_regions));
+  sim::SimTime run_to = 0;
+  int adaptive_region = -1;
+  sim::SimTime adaptive_bound = sim::kTimeNever;
+
+  auto run_region = [&](int r) {
+    Region& reg = *regions[static_cast<std::size_t>(r)];
+    if (r != adaptive_region) {
+      reg.sim.run_until(run_to);
+      return;
+    }
+    // The window's minimum region runs under a dynamic bound instead of
+    // the fixed lookahead: nothing can reach it before
+    //   min(second-earliest region event + L, earliest initiation due,
+    //       its own earliest cross-region emission's arrival + L),
+    // so when the rest of the system is quiet it runs straight through
+    // the lull — the drain tail of a broadcast collapses from thousands
+    // of windows into one. The bound is re-read every step because the
+    // region's own emissions shrink it live (a reply routed back through
+    // another region can land no earlier than emission arrival + L).
+    for (;;) {
+      sim::SimTime cap = adaptive_bound;
+      if (reg.emit_min != sim::kTimeNever) {
+        cap = std::min(cap, sat_add(reg.emit_min, lookahead));
+      }
+      if (!reg.sim.step(cap - 1)) break;
     }
   };
 
-  // Worker lanes: region r runs on lane r % lanes. The grouping affects
-  // wall-clock only — every region's execution is independent within a
-  // window, so the produced bytes are identical for any lane count.
-  const int lanes = std::min(shards, num_regions);
+  // Lanes spin briefly on the epoch before parking on the condvar: a
+  // window is typically far shorter than a futex round-trip, and the
+  // engine-side barrier work between windows is tiny.
   std::mutex mu;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
-  std::uint64_t epoch = 0;
-  int done = 0;
-  sim::SimTime run_to = 0;
-  bool quit = false;
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<int> done{0};
+  std::atomic<bool> quit{false};
+  constexpr int kSpinIters = 1024;
   std::vector<std::thread> pool;
   if (lanes > 1) {
     pool.reserve(static_cast<std::size_t>(lanes));
@@ -282,52 +341,94 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
       pool.emplace_back([&, lane]() {
         std::uint64_t seen = 0;
         for (;;) {
-          sim::SimTime until;
-          {
+          std::uint64_t e = seen;
+          for (int s = 0; s < kSpinIters && e == seen; ++s) {
+            if (quit.load(std::memory_order_acquire)) return;
+            e = epoch.load(std::memory_order_acquire);
+          }
+          if (e == seen) {  // park
             std::unique_lock<std::mutex> lk(mu);
-            cv_work.wait(lk, [&]() { return quit || epoch != seen; });
-            if (quit) return;
-            seen = epoch;
-            until = run_to;
+            cv_work.wait(lk, [&]() {
+              return quit.load(std::memory_order_relaxed) ||
+                     epoch.load(std::memory_order_relaxed) != seen;
+            });
+            if (quit.load(std::memory_order_relaxed)) return;
+            e = epoch.load(std::memory_order_relaxed);
           }
-          for (int r = lane; r < num_regions; r += lanes) {
-            regions[static_cast<std::size_t>(r)]->sim.run_until(until);
+          seen = e;
+          for (std::size_t i = static_cast<std::size_t>(lane);
+               i < active.size(); i += static_cast<std::size_t>(lanes)) {
+            run_region(active[i]);
           }
-          {
+          if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == lanes) {
             std::lock_guard<std::mutex> lk(mu);
-            if (++done == lanes) cv_done.notify_one();
+            cv_done.notify_one();
           }
         }
       });
     }
   }
-  auto run_window = [&](sim::SimTime until) {
+  auto run_window = [&]() {
     if (lanes <= 1) {
-      for (auto& reg : regions) reg->sim.run_until(until);
+      for (int r : active) run_region(r);
       return;
     }
+    done.store(0, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(mu);
-      run_to = until;
-      done = 0;
-      ++epoch;
+      epoch.fetch_add(1, std::memory_order_release);
     }
     cv_work.notify_all();
-    {
-      std::unique_lock<std::mutex> lk(mu);
-      cv_done.wait(lk, [&]() { return done == lanes; });
+    for (int s = 0; s < kSpinIters; ++s) {
+      if (done.load(std::memory_order_acquire) == lanes) return;
     }
+    std::unique_lock<std::mutex> lk(mu);
+    cv_done.wait(lk,
+                 [&]() { return done.load(std::memory_order_relaxed) == lanes; });
   };
 
   // The window loop. All cross-region sends from [T, T+L) arrive at or
-  // after T+L, so running every region to T+L-1 and draining outboxes at
-  // the barrier never delivers a message into its own past.
-  for (sim::SimTime t = next_t(); t != sim::kTimeNever; t = next_t()) {
+  // after T+L, so running every active region to T+L-1 (further for the
+  // minimum region, see run_region) and draining outboxes at the barrier
+  // never delivers a message into its own past. Windows with no active
+  // region (pure due-processing) skip the dispatch and the barrier
+  // entirely.
+  for (;;) {
+    sim::SimTime t = min_due;
+    for (auto& reg : regions) t = std::min(t, reg->sim.next_live_time());
+    if (t == sim::kTimeNever) break;
     MCK_ASSERT(t < sim::kTimeNever - lookahead);
     const sim::SimTime window_end = t + lookahead;
     process_dues(window_end);
-    run_window(window_end - 1);
+    // Build the active set after due processing — a granted initiation
+    // schedules its initiate event inside this window. t1/t2 are the
+    // smallest and second-smallest next-event times across all regions
+    // (inactive regions bound the adaptive run too: their first event of
+    // a later window can emit).
+    active.clear();
+    int r1 = -1;
+    sim::SimTime t1 = sim::kTimeNever;
+    sim::SimTime t2 = sim::kTimeNever;
+    for (int r = 0; r < num_regions; ++r) {
+      sim::SimTime nt =
+          regions[static_cast<std::size_t>(r)]->sim.next_live_time();
+      if (nt < t1) {
+        t2 = t1;
+        t1 = nt;
+        r1 = r;
+      } else {
+        t2 = std::min(t2, nt);
+      }
+      if (nt < window_end) active.push_back(r);
+    }
+    if (active.empty()) continue;
+    run_to = window_end - 1;
+    adaptive_region = r1;
+    adaptive_bound = std::min(sat_add(t2, lookahead), min_due);
+    regions[static_cast<std::size_t>(r1)]->emit_min = sim::kTimeNever;
+    run_window();
     for (auto& reg : regions) {
+      if (reg->outbox.empty()) continue;
       for (Envelope& e : reg->outbox) {
         MCK_ASSERT(e.at >= window_end);
         Region& dst = *regions[static_cast<std::size_t>(e.dst_region)];
@@ -343,7 +444,7 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
   if (lanes > 1) {
     {
       std::lock_guard<std::mutex> lk(mu);
-      quit = true;
+      quit.store(true, std::memory_order_release);
     }
     cv_work.notify_all();
     for (std::thread& th : pool) th.join();

@@ -132,6 +132,7 @@ System::System(SystemOptions opts)
     ctx.timing = &opts_.timing;
     ctx.codec = core::universal_codec();
     ctx.tracer = opts_.tracer;
+    ctx.arena = &arena_;
     proto->bind(ctx);
     protos_.push_back(std::move(proto));
   }

@@ -128,6 +128,10 @@ class System {
   ckpt::CheckpointStore store_;
   ckpt::CoordinationTracker tracker_;
   rt::RunStats stats_;
+  /// Run-lifetime bump arena for the protocols' sparse-state spill
+  /// storage (rt::ProcessContext::arena). Declared before protos_ so it
+  /// outlives them during destruction.
+  util::Arena arena_;
   std::unique_ptr<net::LanTransport> lan_;
   std::unique_ptr<mobile::CellularTransport> cell_;
   std::vector<std::unique_ptr<rt::CheckpointProtocol>> protos_;

@@ -22,8 +22,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -32,6 +32,7 @@
 #include "obs/trace.hpp"
 #include "rt/transport.hpp"
 #include "sim/simulator.hpp"
+#include "util/arena.hpp"
 #include "util/types.hpp"
 
 namespace mck::mobile {
@@ -135,12 +136,29 @@ class CellularTransport final : public rt::Transport {
   }
 
  private:
+  /// One recipient of a coalesced broadcast: everything that had to be
+  /// captured at send time — the FIFO stamp and the routing snapshot (an
+  /// in-flight handoff must still trigger the forward-penalty reroute).
+  struct BroadcastEntry {
+    ProcessId pid;
+    std::uint32_t seq;
+    MssId routed_to;
+  };
+  /// A broadcast arrival class: every listed recipient hears the shared
+  /// template message at the same instant (12 B per recipient instead of
+  /// a whole heap event each — see broadcast()).
+  struct BroadcastBatch {
+    rt::Message tmpl;
+    std::vector<BroadcastEntry> entries;
+  };
+
   sim::SimTime wireless_tx(std::uint64_t bytes) const;
   sim::SimTime wired_tx(std::uint64_t bytes) const;
   sim::SimTime path_delay(MssId from, MssId to, std::uint64_t bytes) const;
   void launch(rt::Message msg);
   void arrive(rt::Message msg, MssId routed_to);
   void hand_to_process(rt::Message msg);
+  void deliver_batch(const std::shared_ptr<BroadcastBatch>& batch);
 
   sim::Simulator& sim_;
   CellularParams params_;
@@ -151,9 +169,11 @@ class CellularTransport final : public rt::Transport {
   std::vector<MssId> mss_of_;
   std::vector<int> cell_of_;
   std::vector<std::uint8_t> disconnected_;
-  // Lazily created per *disconnected* pid (a dense vector of deques is
-  // ~600 B per process whether or not it ever disconnects — fatal at 1M).
-  std::unordered_map<ProcessId, std::deque<rt::Message>> buffer_;
+  // Lazily created per *disconnected* pid (a dense per-process table is
+  // hundreds of bytes per process whether or not it ever disconnects —
+  // fatal at 1M). Short disconnections (the common case) buffer a handful
+  // of messages, so the queue is inline up to 4 before spilling.
+  std::unordered_map<ProcessId, util::SmallVec<rt::Message, 4>> buffer_;
   // FIFO is enforced separately for computation and system messages: the
   // MSS proxies system messages for a disconnected MH (Section 2.2) while
   // its computation messages sit in the buffer, so the two classes may

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 
 namespace mck::util {
@@ -30,11 +31,19 @@ class IntervalSet {
     bool operator==(const Interval&) const = default;
   };
 
+  /// Inline capacity: most dependency sets are a handful of clustered
+  /// peers, so the common case never touches the heap.
+  using Storage = SmallVec<Interval, 3>;
+
   IntervalSet() = default;
   explicit IntervalSet(std::size_t n) : n_(n) {}
 
   /// Universe size (matches the dense BitVec's size()).
   std::size_t size() const { return n_; }
+
+  /// Spill storage for sets that outgrow the inline capacity comes from
+  /// `a` (see util/arena.hpp ownership rules). Call before first use.
+  void set_arena(Arena* a) { iv_.set_arena(a); }
 
   void set(std::size_t i, bool v = true) {
     MCK_ASSERT(i < n_);
@@ -90,7 +99,9 @@ class IntervalSet {
       iv_ = other.iv_;
       return;
     }
-    std::vector<Interval> out;
+    // Stack scratch: the merged result is built here and element-moved
+    // into iv_, so steady-state merges allocate nothing.
+    SmallVec<Interval, 12> out;
     out.reserve(iv_.size() + other.iv_.size());
     std::size_t a = 0, b = 0;
     while (a < iv_.size() || b < other.iv_.size()) {
@@ -107,7 +118,9 @@ class IntervalSet {
         out.push_back(next);
       }
     }
-    iv_ = std::move(out);
+    iv_.clear();
+    iv_.reserve(out.size());
+    for (Interval& v : out) iv_.push_back(v);
   }
 
   bool any() const { return !iv_.empty(); }
@@ -154,7 +167,7 @@ class IntervalSet {
   }
 
   // --- codec / construction surface -------------------------------------
-  const std::vector<Interval>& intervals() const { return iv_; }
+  const Storage& intervals() const { return iv_; }
 
   /// Appends [lo, hi); must be strictly after (and not adjacent to) the
   /// previous interval and inside the universe. Returns false (leaving the
@@ -182,7 +195,7 @@ class IntervalSet {
   }
 
   std::size_t n_ = 0;
-  std::vector<Interval> iv_;
+  Storage iv_;
 };
 
 }  // namespace mck::util

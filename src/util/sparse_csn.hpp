@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 #include "util/types.hpp"
 
@@ -25,11 +26,17 @@ class SparseCsnMap {
     bool operator==(const Entry&) const = default;
   };
 
+  using Storage = SmallVec<Entry, 2>;
+
   SparseCsnMap() = default;
   explicit SparseCsnMap(std::size_t n) : n_(n) {}
 
   /// Universe size (matches the dense vector's size()).
   std::size_t size() const { return n_; }
+
+  /// Spill storage beyond the inline capacity comes from `a` (see
+  /// util/arena.hpp ownership rules). Call before first use.
+  void set_arena(Arena* a) { e_.set_arena(a); }
 
   /// Dense-equivalent read: 0 when no entry exists.
   Csn get(std::size_t pid) const {
@@ -95,7 +102,7 @@ class SparseCsnMap {
   }
 
   std::size_t n_ = 0;
-  std::vector<Entry> e_;
+  Storage e_;
 };
 
 }  // namespace mck::util

@@ -1,0 +1,201 @@
+// SmallVec / Arena behavior pinned against std::vector references:
+// the spill-to-heap boundary, move semantics across allocation domains,
+// and arena interop (spill storage coming from a bump arena).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/arena.hpp"
+#include "util/interval_set.hpp"
+#include "util/sparse_csn.hpp"
+
+namespace mck::util {
+namespace {
+
+TEST(SmallVecTest, InlineUntilCapacityThenSpills) {
+  SmallVec<int, 4> v;
+  EXPECT_EQ(v.capacity(), 4u);
+  const int* inline_ptr = v.data();
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.data(), inline_ptr) << "must stay inline up to N";
+  v.push_back(4);  // the spill boundary
+  EXPECT_NE(v.data(), inline_ptr);
+  EXPECT_GE(v.capacity(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVecTest, MatchesVectorReferenceAcrossMixedOps) {
+  SmallVec<int, 2> sv;
+  std::vector<int> ref;
+  // Deterministic op mix crossing the spill boundary repeatedly.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      int x = round * 100 + i;
+      if (i % 5 == 3 && !ref.empty()) {
+        std::size_t pos = static_cast<std::size_t>(i) % ref.size();
+        sv.erase(sv.begin() + static_cast<std::ptrdiff_t>(pos));
+        ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(pos));
+      } else if (i % 7 == 2) {
+        std::size_t pos = ref.empty() ? 0 : static_cast<std::size_t>(x) % ref.size();
+        sv.insert(sv.begin() + static_cast<std::ptrdiff_t>(pos), x);
+        ref.insert(ref.begin() + static_cast<std::ptrdiff_t>(pos), x);
+      } else {
+        sv.push_back(x);
+        ref.push_back(x);
+      }
+    }
+    ASSERT_EQ(sv.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(sv[i], ref[i]);
+    sv.erase(sv.begin(), sv.begin() + static_cast<std::ptrdiff_t>(sv.size() / 2));
+    ref.erase(ref.begin(), ref.begin() + static_cast<std::ptrdiff_t>(ref.size() / 2));
+    ASSERT_EQ(sv.size(), ref.size());
+  }
+  sv.clear();
+  ref.clear();
+  EXPECT_EQ(sv.size(), ref.size());
+}
+
+TEST(SmallVecTest, MoveFromInlineMovesElements) {
+  SmallVec<std::string, 4> a;
+  a.push_back("alpha");
+  a.push_back("beta");
+  SmallVec<std::string, 4> b(std::move(a));
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], "alpha");
+  EXPECT_EQ(b[1], "beta");
+  EXPECT_EQ(a.size(), 0u);  // moved-from is empty, reusable
+  a.push_back("gamma");
+  EXPECT_EQ(a[0], "gamma");
+}
+
+TEST(SmallVecTest, MoveFromSpilledStealsStorage) {
+  SmallVec<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  const int* spilled = a.data();
+  SmallVec<int, 2> b(std::move(a));
+  EXPECT_EQ(b.data(), spilled) << "heap storage changes hands on move";
+  ASSERT_EQ(b.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(b[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(SmallVecTest, MoveAssignAcrossArenaDomainsCopiesElements) {
+  Arena arena;
+  SmallVec<int, 2> dst;
+  dst.set_arena(&arena);
+  SmallVec<int, 2> src;  // global-heap domain
+  for (int i = 0; i < 8; ++i) src.push_back(i);
+  const int* src_storage = src.data();
+  dst = std::move(src);
+  EXPECT_NE(dst.data(), src_storage)
+      << "storage must not change allocation domains";
+  EXPECT_EQ(dst.arena(), &arena) << "destination keeps its arena binding";
+  ASSERT_EQ(dst.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(dst[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVecTest, CopyKeepsDestinationArenaBinding) {
+  Arena arena;
+  SmallVec<int, 2> arena_backed;
+  arena_backed.set_arena(&arena);
+  for (int i = 0; i < 6; ++i) arena_backed.push_back(i);
+  EXPECT_GT(arena.bytes_used(), 0u);
+
+  SmallVec<int, 2> plain_copy(arena_backed);
+  EXPECT_EQ(plain_copy.arena(), nullptr)
+      << "copies never inherit the source arena (payload-copy rule)";
+  ASSERT_EQ(plain_copy.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(plain_copy[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SmallVecTest, ArenaSpillComesFromArena) {
+  Arena arena(4096);
+  SmallVec<int, 2> v;
+  v.set_arena(&arena);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(arena.bytes_used(), 0u) << "inline fill must not touch the arena";
+  v.push_back(3);
+  EXPECT_GT(arena.bytes_used(), 0u) << "spill storage must come from the arena";
+  std::size_t used_after_spill = arena.bytes_used();
+  v.clear();
+  for (int i = 0; i < 3; ++i) v.push_back(i);
+  EXPECT_EQ(arena.bytes_used(), used_after_spill)
+      << "warm container refills must not grow the arena";
+}
+
+TEST(SmallVecTest, NonTrivialElementsDestructed) {
+  std::weak_ptr<int> observer;
+  {
+    SmallVec<std::shared_ptr<int>, 1> v;
+    auto sp = std::make_shared<int>(7);
+    observer = sp;
+    v.push_back(std::move(sp));
+    v.push_back(std::make_shared<int>(8));  // forces a spill
+    EXPECT_FALSE(observer.expired());
+  }
+  EXPECT_TRUE(observer.expired()) << "destructor must run element dtors";
+}
+
+TEST(ArenaTest, BumpAllocationIsAlignedAndDistinct) {
+  Arena arena(1024);
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(64, 16);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 16, 0u);
+  // Oversized requests get their own block instead of failing.
+  void* big = arena.allocate(1 << 20, 64);
+  EXPECT_NE(big, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{1} << 20);
+}
+
+TEST(ArenaTest, CreateConstructsInPlace) {
+  Arena arena;
+  auto* p = arena.create<std::pair<int, int>>(3, 4);
+  EXPECT_EQ(p->first, 3);
+  EXPECT_EQ(p->second, 4);
+}
+
+// The protocol containers ride on SmallVec; pin their arena interop.
+TEST(ArenaInteropTest, IntervalSetSpillsIntoArena) {
+  Arena arena;
+  IntervalSet s(1000);
+  s.set_arena(&arena);
+  // Force > 3 disjoint intervals (the inline capacity).
+  for (std::size_t i = 0; i < 20; ++i) s.set(i * 7);
+  EXPECT_GT(arena.bytes_used(), 0u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_TRUE(s.test(i * 7));
+  EXPECT_FALSE(s.test(1));
+  // merge() into a warm set must not grow the arena further once the
+  // capacity covers the result.
+  IntervalSet other(1000);
+  for (std::size_t i = 0; i < 20; ++i) other.set(i * 7 + 1);
+  s.merge(other);
+  EXPECT_EQ(s.count(), 40u);
+  std::size_t warm = arena.bytes_used();
+  s.merge(other);  // idempotent remerge, same capacity
+  EXPECT_EQ(arena.bytes_used(), warm);
+}
+
+TEST(ArenaInteropTest, SparseCsnMapSpillsIntoArena) {
+  Arena arena;
+  SparseCsnMap m(100000);
+  m.set_arena(&arena);
+  for (std::size_t pid = 0; pid < 64; ++pid) m.raise(pid * 11, 5);
+  EXPECT_GT(arena.bytes_used(), 0u);
+  for (std::size_t pid = 0; pid < 64; ++pid) {
+    EXPECT_EQ(m.get(pid * 11), 5u);
+  }
+  EXPECT_EQ(m.get(1), 0u);
+}
+
+}  // namespace
+}  // namespace mck::util
