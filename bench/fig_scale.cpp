@@ -22,7 +22,8 @@
 //
 // Flags: --quick (n = 16 and 1k only), --golden (n = 16 only), --out F,
 // --trace F (flight-recorder trace of the n = 1k point, for
-// `mckaudit check --sample`), --jobs N, --wire-fidelity.
+// `mckaudit check --sample`), --timeline PREFIX (run-health timeline of
+// every point, written to PREFIX_n<N>.mcktl), --jobs N, --wire-fidelity.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_io.hpp"
 
 using namespace mck;
@@ -62,10 +64,24 @@ struct ScalePoint {
   harness::RunResult res;
   double wall_s = 0.0;
   std::uint64_t rss_kib = 0;
+  // Headline gauges from the point's timeline (0 when --timeline is off).
+  std::uint64_t tl_rows = 0;
+  std::int64_t tl_peak_in_flight = 0;
+  std::int64_t tl_peak_blocked = 0;
+  std::uint64_t tl_peak_queue = 0;
 };
 
+std::int64_t timeline_peak(const obs::TimelineRun& run, int col) {
+  std::int64_t peak = 0;
+  for (std::size_t k = 0; k < run.rows(); ++k) {
+    peak = std::max(peak, obs::timeline_i64(run.row(k)[col]));
+  }
+  return peak;
+}
+
 ScalePoint run_point(int n, int argc, char** argv, int jobs,
-                     const std::string& trace_path) {
+                     const std::string& trace_path,
+                     const std::string& timeline_path) {
   harness::ExperimentConfig cfg;
   cfg.sys.algorithm = harness::Algorithm::kCaoSinghal;
   cfg.sys.num_processes = n;
@@ -97,6 +113,8 @@ ScalePoint run_point(int n, int argc, char** argv, int jobs,
   // everyone else checkpoints when the request wave reaches them.
   cfg.initiator_limit = n <= 1000 ? 0 : 4;
   cfg.capture_trace = !trace_path.empty();
+  cfg.capture_timeline = !timeline_path.empty();
+  cfg.timeline_interval = sim::seconds(1);
   bench::apply_wire_flags(argc, argv, cfg);
 
   ScalePoint pt;
@@ -122,6 +140,27 @@ ScalePoint run_point(int n, int argc, char** argv, int jobs,
       std::exit(1);
     }
   }
+  if (!timeline_path.empty()) {
+    obs::TimelineFileMeta meta;
+    meta.num_processes = n;
+    meta.algo = harness::to_string(cfg.sys.algorithm);
+    meta.columns = obs::builtin_timeline_schema();
+    std::string err;
+    if (!obs::write_timeline_file(timeline_path, meta, pt.res.timelines,
+                                  &err)) {
+      std::fprintf(stderr, "fig_scale: cannot write timeline: %s\n",
+                   err.c_str());
+      std::exit(1);
+    }
+  }
+  if (!pt.res.timelines.empty()) {
+    const obs::TimelineRun& tl = pt.res.timelines.front();
+    pt.tl_rows = tl.rows();
+    pt.tl_peak_in_flight = timeline_peak(tl, obs::kColInFlight);
+    pt.tl_peak_blocked = timeline_peak(tl, obs::kColBlockedProcs);
+    pt.tl_peak_queue =
+        static_cast<std::uint64_t>(timeline_peak(tl, obs::kColQueueDepth));
+  }
   return pt;
 }
 
@@ -145,6 +184,7 @@ int main(int argc, char** argv) {
   const int jobs = bench::jobs_arg(argc, argv);
   const char* out_path = scale_value(argc, argv, "--out");
   const char* trace_path = scale_value(argc, argv, "--trace");
+  const char* tl_prefix = scale_value(argc, argv, "--timeline");
 
   std::vector<int> ns;
   if (golden) {
@@ -165,8 +205,12 @@ int main(int argc, char** argv) {
   std::vector<ScalePoint> points;
   for (int n : ns) {
     const bool trace_this = trace_path != nullptr && n == 1000;
+    std::string tl_path;
+    if (tl_prefix != nullptr) {
+      tl_path = std::string(tl_prefix) + "_n" + std::to_string(n) + ".mcktl";
+    }
     points.push_back(run_point(n, argc, argv, jobs,
-                               trace_this ? trace_path : ""));
+                               trace_this ? trace_path : "", tl_path));
     const ScalePoint& pt = points.back();
     const rt::RunStats& st = pt.res.stats;
     const std::uint64_t comp_msgs =
@@ -190,6 +234,15 @@ int main(int argc, char** argv) {
                      ? static_cast<double>(st.deliveries) / pt.wall_s
                      : 0.0,
                  static_cast<unsigned long long>(pt.rss_kib));
+    if (pt.tl_rows > 0) {
+      std::fprintf(stderr,
+                   "fig_scale: n=%d timeline rows=%llu peak queue=%llu "
+                   "in-flight=%lld blocked=%lld\n",
+                   pt.n, static_cast<unsigned long long>(pt.tl_rows),
+                   static_cast<unsigned long long>(pt.tl_peak_queue),
+                   static_cast<long long>(pt.tl_peak_in_flight),
+                   static_cast<long long>(pt.tl_peak_blocked));
+    }
   }
   table.print();
   std::printf(
@@ -218,7 +271,10 @@ int main(int argc, char** argv) {
           "     \"coord_bytes_per_msg\": %.2f, \"comp_bytes_per_msg\": %.2f,\n"
           "     \"tentative\": %llu, \"mutable\": %llu,\n"
           "     \"events_per_sec\": %.1f, \"wall_s\": %.3f,\n"
-          "     \"peak_rss_kib\": %llu}%s\n",
+          "     \"peak_rss_kib\": %llu,\n"
+          "     \"timeline_rows\": %llu, \"timeline_peak_queue\": %llu,\n"
+          "     \"timeline_peak_in_flight\": %lld,\n"
+          "     \"timeline_peak_blocked\": %lld}%s\n",
           pt.n, pt.num_mss, pt.cells_per_mss,
           static_cast<unsigned long long>(pt.res.committed),
           static_cast<unsigned long long>(st.system_msgs()),
@@ -229,6 +285,10 @@ int main(int argc, char** argv) {
           pt.wall_s > 0 ? static_cast<double>(st.deliveries) / pt.wall_s
                         : 0.0,
           pt.wall_s, static_cast<unsigned long long>(pt.rss_kib),
+          static_cast<unsigned long long>(pt.tl_rows),
+          static_cast<unsigned long long>(pt.tl_peak_queue),
+          static_cast<long long>(pt.tl_peak_in_flight),
+          static_cast<long long>(pt.tl_peak_blocked),
           i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -385,7 +385,23 @@ struct ScalePathPerf {
   double n1k_wall_s = 0;              // fastest trial
   double n1M_wall_s = 0;
   std::uint64_t n1M_peak_rss_kib = 0;
+  // Headline run-health numbers from the n=1M point's timeline (the
+  // sampler is on for that run; its cost is part of n1M_wall_s, so the
+  // report measures the instrumented configuration CI actually ships).
+  std::uint64_t n1M_timeline_rows = 0;
+  std::uint64_t n1M_peak_queue_depth = 0;
+  std::int64_t n1M_peak_in_flight = 0;
+  std::int64_t n1M_peak_blocked = 0;
 };
+
+/// Column-wise peak over a timeline run (signed columns compare as i64).
+std::int64_t timeline_peak_i64(const obs::TimelineRun& run, int col) {
+  std::int64_t peak = 0;
+  for (std::size_t k = 0; k < run.rows(); ++k) {
+    peak = std::max(peak, obs::timeline_i64(run.row(k)[col]));
+  }
+  return peak;
+}
 
 harness::ExperimentConfig scale_cfg(int n) {
   harness::ExperimentConfig cfg;
@@ -435,11 +451,20 @@ ScalePathPerf measure_scale_path() {
   }
   {
     harness::ExperimentConfig cfg = scale_cfg(1000000);
+    cfg.capture_timeline = true;
+    cfg.timeline_interval = sim::seconds(1);
     Clock::time_point t0 = Clock::now();
     harness::RunResult res = harness::run_experiment(cfg);
     out.n1M_wall_s = secs_since(t0);
-    (void)res;
     out.n1M_peak_rss_kib = vm_hwm_kib();
+    if (!res.timelines.empty()) {
+      const obs::TimelineRun& tl = res.timelines.front();
+      out.n1M_timeline_rows = tl.rows();
+      out.n1M_peak_queue_depth = static_cast<std::uint64_t>(
+          timeline_peak_i64(tl, obs::kColQueueDepth));
+      out.n1M_peak_in_flight = timeline_peak_i64(tl, obs::kColInFlight);
+      out.n1M_peak_blocked = timeline_peak_i64(tl, obs::kColBlockedProcs);
+    }
   }
   return out;
 }
@@ -522,6 +547,12 @@ int main(int argc, char** argv) {
               kScaleTrials, sc.n1k_deliveries_per_sec, sc.n1k_wall_s,
               sc.n1M_wall_s,
               static_cast<unsigned long long>(sc.n1M_peak_rss_kib));
+  std::printf("scale timeline: n=1M rows=%llu peak queue=%llu "
+              "in-flight=%lld blocked=%lld\n",
+              static_cast<unsigned long long>(sc.n1M_timeline_rows),
+              static_cast<unsigned long long>(sc.n1M_peak_queue_depth),
+              static_cast<long long>(sc.n1M_peak_in_flight),
+              static_cast<long long>(sc.n1M_peak_blocked));
 
   ShardedPerf sp = measure_sharded(quick);
   std::printf("sharded run: serial engine %.2fs, 1 lane %.2fs (%.2fx "
@@ -568,7 +599,11 @@ int main(int argc, char** argv) {
                "    \"n1k_deliveries_per_sec\": %.1f,\n"
                "    \"n1k_wall_s\": %.3f,\n"
                "    \"n1M_wall_s\": %.3f,\n"
-               "    \"n1M_peak_rss_kib\": %llu\n"
+               "    \"n1M_peak_rss_kib\": %llu,\n"
+               "    \"n1M_timeline_rows\": %llu,\n"
+               "    \"n1M_peak_queue_depth\": %llu,\n"
+               "    \"n1M_peak_in_flight\": %lld,\n"
+               "    \"n1M_peak_blocked\": %lld\n"
                "  }\n"
                "}\n",
                quick ? "true" : "false", pending,
@@ -578,7 +613,11 @@ int main(int argc, char** argv) {
                sp.serial_s, sp.lanes1_s, sp.lanesN_s, sp.lanes1_overhead,
                kScaleTrials, sc.n1k_deliveries_per_sec, sc.n1k_wall_s,
                sc.n1M_wall_s,
-               static_cast<unsigned long long>(sc.n1M_peak_rss_kib));
+               static_cast<unsigned long long>(sc.n1M_peak_rss_kib),
+               static_cast<unsigned long long>(sc.n1M_timeline_rows),
+               static_cast<unsigned long long>(sc.n1M_peak_queue_depth),
+               static_cast<long long>(sc.n1M_peak_in_flight),
+               static_cast<long long>(sc.n1M_peak_blocked));
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
 

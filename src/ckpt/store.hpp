@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ckpt/event_log.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/time.hpp"
 #include "util/assert.hpp"
@@ -125,6 +126,13 @@ class CheckpointStore {
   /// lifecycle of all eight protocols from one place.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches the timeline gauge block (null = off). The store owns the
+  /// live-checkpoint census: ckpt_live[kind] counts non-discarded records
+  /// per lifecycle state (a permanent record leaves the census when the
+  /// auto-GC reclaims it). The implicit initial checkpoints are interned
+  /// before any sampler can attach and are excluded by construction.
+  void set_timeline(obs::TimelineCounters* t) { timeline_ = t; }
+
   CkptRef take(ProcessId pid, CkptKind kind, Csn csn, InitiationId initiation,
                std::uint64_t event_cursor, sim::SimTime at) {
     CheckpointRecord rec;
@@ -146,6 +154,7 @@ class CheckpointStore {
                       static_cast<std::uint8_t>(kind), 0,
                       static_cast<std::uint64_t>(ref), event_cursor);
     }
+    if (timeline_ != nullptr) ++timeline_->ckpt_live[static_cast<int>(kind)];
     if (kind == CkptKind::kTentative) note_occupancy(pid, at);
     return ref;
   }
@@ -163,6 +172,10 @@ class CheckpointStore {
       tracer_->record(obs::TraceKind::kCkptPromoted, at, rec.pid,
                       static_cast<std::uint8_t>(rec.kind), 0, initiation, ref);
     }
+    if (timeline_ != nullptr) {
+      --timeline_->ckpt_live[static_cast<int>(rec.kind)];
+      ++timeline_->ckpt_live[static_cast<int>(CkptKind::kTentative)];
+    }
     rec.kind = CkptKind::kTentative;
     rec.initiation = initiation;
     rec.finalized_at = at;  // provisional; overwritten on make_permanent
@@ -172,6 +185,10 @@ class CheckpointStore {
     CheckpointRecord& rec = mut(ref);
     MCK_ASSERT(rec.kind == CkptKind::kTentative);
     MCK_ASSERT(!rec.discarded);
+    if (timeline_ != nullptr) {
+      --timeline_->ckpt_live[static_cast<int>(CkptKind::kTentative)];
+      ++timeline_->ckpt_live[static_cast<int>(CkptKind::kPermanent)];
+    }
     rec.kind = CkptKind::kPermanent;
     rec.finalized_at = at;
     if (tracer_ != nullptr) {
@@ -214,6 +231,9 @@ class CheckpointStore {
   void discard(CkptRef ref) {
     CheckpointRecord& rec = mut(ref);
     MCK_ASSERT(rec.kind != CkptKind::kPermanent);
+    if (timeline_ != nullptr) {
+      --timeline_->ckpt_live[static_cast<int>(rec.kind)];
+    }
     rec.discarded = true;
     if (tracer_ != nullptr) {
       // discard() has no time parameter; the tracer's last stamped time is
@@ -291,6 +311,9 @@ class CheckpointStore {
       CheckpointRecord& rec = all_[idx(ref)];
       if (rec.kind == CkptKind::kPermanent && rec.gc_at < 0) {
         rec.gc_at = at;
+        if (timeline_ != nullptr) {
+          --timeline_->ckpt_live[static_cast<int>(CkptKind::kPermanent)];
+        }
       }
     }
   }
@@ -312,6 +335,7 @@ class CheckpointStore {
   std::size_t peak_occupancy_ = 0;
   bool auto_gc_ = false;
   obs::Tracer* tracer_ = nullptr;
+  obs::TimelineCounters* timeline_ = nullptr;
   CkptRef ref_base_ = 0;
   CkptRef ref_stride_ = 1;
 };

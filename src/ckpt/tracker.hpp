@@ -64,6 +64,12 @@ struct InitiationStats {
   // Contributions to the committed global checkpoint line:
   // (pid, event cursor of the checkpoint made permanent here).
   std::vector<std::pair<ProcessId, std::uint64_t>> line_updates;
+
+  // Timeline bookkeeping: whether this initiation is counted in the
+  // active-initiations gauge (set by open() on the initiator's tracker;
+  // lazy registration via at() never counts, so participant regions do
+  // not double-count an initiation in sharded mode).
+  bool timeline_counted = false;
 };
 
 class CoordinationTracker {
@@ -71,6 +77,11 @@ class CoordinationTracker {
   /// Attaches a flight recorder (null = off): initiation start, commit
   /// and abort are traced here, one place for all eight protocols.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches the timeline gauge block (null = off). The tracker owns the
+  /// active-initiations gauge: +1 when open() first registers an
+  /// initiation, -1 when the initiator decides (commit or abort).
+  void set_timeline(obs::TimelineCounters* t) { timeline_ = t; }
 
   InitiationStats& open(InitiationId id, ProcessId initiator,
                         sim::SimTime now) {
@@ -80,6 +91,10 @@ class CoordinationTracker {
       s.initiator = initiator;
       s.started_at = now;
       order_.push_back(id);
+      if (timeline_ != nullptr) {
+        ++timeline_->active_inits;
+        s.timeline_counted = true;
+      }
       if (tracer_ != nullptr) {
         tracer_->record(obs::TraceKind::kInitStart, now, initiator, 0, 0, id,
                         0);
@@ -92,6 +107,10 @@ class CoordinationTracker {
   /// committed_at directly) so the decision lands in the trace.
   void mark_committed(InitiationStats& s, sim::SimTime now) {
     s.committed_at = now;
+    if (s.timeline_counted) {
+      --timeline_->active_inits;
+      s.timeline_counted = false;
+    }
     if (tracer_ != nullptr) {
       tracer_->record(obs::TraceKind::kRoundCommit, now, s.initiator, 0, 0,
                       s.id, static_cast<std::uint64_t>(now - s.started_at));
@@ -100,6 +119,10 @@ class CoordinationTracker {
 
   void mark_aborted(InitiationStats& s, sim::SimTime now) {
     s.aborted_at = now;
+    if (s.timeline_counted) {
+      --timeline_->active_inits;
+      s.timeline_counted = false;
+    }
     if (tracer_ != nullptr) {
       tracer_->record(obs::TraceKind::kRoundAbort, now, s.initiator, 0, 0,
                       s.id, static_cast<std::uint64_t>(now - s.started_at));
@@ -140,6 +163,7 @@ class CoordinationTracker {
   std::map<InitiationId, InitiationStats> map_;
   std::vector<InitiationId> order_;
   obs::Tracer* tracer_ = nullptr;
+  obs::TimelineCounters* timeline_ = nullptr;
 };
 
 }  // namespace mck::ckpt

@@ -169,6 +169,9 @@ void CaoSinghalProtocol::initiate() {
   (void)st;
 
   active_initiator_ = true;
+  // The full unit of weight leaves the initiator with the request wave;
+  // the outstanding gauge drains as portions are banked or returned.
+  if (ctx_.timeline != nullptr) ctx_.timeline->outstanding_weight += 1.0;
   InitiatorState& is = ist();
   is.acc_weight = Weight::zero();
   is.self_weight_banked = false;
@@ -426,6 +429,9 @@ void CaoSinghalProtocol::send_reply(const Trigger& trigger, Weight weight,
 
 void CaoSinghalProtocol::bank_local_weight(const Trigger& t, Weight w) {
   if (!active_initiator_ || own_trigger_ != t) return;  // aborted meanwhile
+  if (ctx_.timeline != nullptr) {
+    ctx_.timeline->outstanding_weight -= w.to_double();
+  }
   init_->acc_weight.add(w);
   init_->self_weight_banked = true;
   if (ctx_.tracer != nullptr) {
@@ -452,6 +458,9 @@ void CaoSinghalProtocol::handle_reply(const rt::Message& m,
   }
   if (p.deps.size() != 0) {
     is.replier_deps.emplace_back(m.src, p.deps);
+  }
+  if (ctx_.timeline != nullptr) {
+    ctx_.timeline->outstanding_weight -= p.weight.to_double();
   }
   is.acc_weight.add(p.weight);
   if (ctx_.tracer != nullptr) {
@@ -545,6 +554,10 @@ void CaoSinghalProtocol::initiator_abort() {
   if (!active_initiator_ || init_->abort_sent) return;
   const Trigger t = own_trigger_;
   InitiatorState& is = *init_;
+  if (ctx_.timeline != nullptr) {
+    // Whatever portion never made it back is written off with the abort.
+    ctx_.timeline->outstanding_weight -= 1.0 - is.acc_weight.to_double();
+  }
   is.abort_sent = true;
   active_initiator_ = false;
   is.self_weight_banked = false;

@@ -1,6 +1,8 @@
 #include "harness/experiment.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <thread>
@@ -11,6 +13,55 @@
 #include "workload/traffic.hpp"
 
 namespace mck::harness {
+
+namespace {
+
+/// Current resident set in KiB (Linux /proc; 0 where unavailable). Only
+/// read on the --progress path, never in the hot loop.
+std::uint64_t live_rss_kib() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  unsigned long long kib = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %llu", &kib) == 1) break;
+  }
+  std::fclose(f);
+  return kib;
+#else
+  return 0;
+#endif
+}
+
+/// Serial-engine drive loop with a periodic stderr run-health line:
+/// sim-time progress against the horizon, wall-clock event throughput,
+/// and live RSS. Writes to stderr only — stdout goldens are untouched.
+void run_with_progress(sim::Simulator& sim, sim::SimTime horizon) {
+  constexpr int kSlices = 20;
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (int i = 1; i <= kSlices; ++i) {
+    sim.run_until(horizon / kSlices * i);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+    const double evps =
+        wall_s > 0 ? static_cast<double>(sim.events_executed()) / wall_s : 0;
+    std::fprintf(stderr,
+                 "progress: sim %3d%%  t=%.0fs  events=%llu (%.2fM/s)  "
+                 "rss=%llu MiB\n",
+                 i * 100 / kSlices, sim::to_seconds(sim.now()),
+                 static_cast<unsigned long long>(sim.events_executed()),
+                 evps / 1e6,
+                 static_cast<unsigned long long>(live_rss_kib() / 1024));
+  }
+  sim.run_until(sim::kTimeNever);  // drain in-flight coordinations
+  std::fprintf(stderr, "progress: drained  events=%llu\n",
+               static_cast<unsigned long long>(sim.events_executed()));
+}
+
+}  // namespace
 
 void RunResult::merge(const RunResult& o) {
   initiations += o.initiations;
@@ -31,6 +82,7 @@ void RunResult::merge(const RunResult& o) {
   orphans += o.orphans;
   lines_checked += o.lines_checked;
   for (const obs::TraceRun& t : o.traces) traces.push_back(t);
+  for (const obs::TimelineRun& t : o.timelines) timelines.push_back(t);
 
   for (int k = 0; k < rt::kMsgKindCount; ++k) {
     stats.msgs_sent[k] += o.stats.msgs_sent[k];
@@ -71,7 +123,26 @@ RunResult run_experiment(const ExperimentConfig& config) {
   SystemOptions sys_opts = config.sys;
   if (config.capture_trace) {
     tracer.enable(config.trace_mask);
+    if (config.trace_record_cap > 0) {
+      tracer.set_record_cap(config.trace_record_cap);
+    }
     sys_opts.tracer = &tracer;
+  }
+  // Like the tracer, the sampler lives on this frame: one per repetition,
+  // so replications never share gauges and the timeline bytes depend only
+  // on (config, seed).
+  obs::TimelineSampler sampler;
+  if (config.capture_timeline) {
+    const int mss_count = config.sys.transport == TransportKind::kCellular
+                              ? config.sys.cellular.num_mss
+                              : 0;
+    sampler.configure(config.timeline_interval, mss_count, 0);
+    if (config.timeline_interval > 0) {
+      sampler.reserve_rows(static_cast<std::size_t>(
+                               config.horizon / config.timeline_interval) +
+                           16);
+    }
+    sys_opts.timeline = &sampler;
   }
   System system(sys_opts);
 
@@ -104,7 +175,11 @@ RunResult run_experiment(const ExperimentConfig& config) {
   // in-flight coordinations, which terminate — Theorem 2). The drain
   // check counts live events only: cancelled tombstones still parked in
   // the queue are not remaining work.
-  system.simulator().run_until(sim::kTimeNever);
+  if (config.progress) {
+    run_with_progress(system.simulator(), config.horizon);
+  } else {
+    system.simulator().run_until(sim::kTimeNever);
+  }
   MCK_ASSERT_MSG(system.simulator().live_pending() == 0,
                  "experiment did not drain its event queue");
 
@@ -132,6 +207,13 @@ RunResult run_experiment(const ExperimentConfig& config) {
     run.seed = sys_opts.seed;
     run.records = tracer.take_records();
     result.traces.push_back(std::move(run));
+  }
+
+  if (config.capture_timeline) {
+    sampler.finalize(system.simulator().live_pending(),
+                     system.simulator().slot_count(),
+                     system.simulator().events_executed());
+    result.timelines.push_back(sampler.take_run(sys_opts.seed));
   }
   return result;
 }
@@ -237,6 +319,9 @@ RunResult run_replicated(ExperimentConfig config, int reps, int jobs,
   for (const RunResult& one : results) total.merge(one);
   for (std::size_t i = 0; i < total.traces.size(); ++i) {
     total.traces[i].rep = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < total.timelines.size(); ++i) {
+    total.timelines[i].rep = static_cast<int>(i);
   }
   return total;
 }

@@ -33,6 +33,24 @@ struct ExperimentConfig {
   /// bytes depend only on (config, seed), never on the job count.
   bool capture_trace = false;
   std::uint64_t trace_mask = obs::Tracer::kAllKinds;
+
+  /// Tracer OOM guard: per-repetition record cap (0 = unlimited). When the
+  /// cap is hit the tracer drops further records and stamps a kTruncated
+  /// marker, which mcktrace/mckaudit surface — an honest partial trace
+  /// instead of an OOM-killed run at 1M hosts.
+  std::uint64_t trace_record_cap = 0;
+
+  /// Run-health timeline (DESIGN.md 3f): each repetition samples the
+  /// system gauges every timeline_interval of *simulated* time into
+  /// RunResult::timelines. Deterministic — identical bytes for any
+  /// (jobs, shards >= 1) combination.
+  bool capture_timeline = false;
+  sim::SimTime timeline_interval = sim::seconds(1);
+
+  /// Periodic run-health line on stderr (wall-clock progress of the
+  /// serial engine; sharded runs report per-region drains instead).
+  /// Never touches stdout, so golden outputs are unaffected.
+  bool progress = false;
 };
 
 struct RunResult {
@@ -64,6 +82,11 @@ struct RunResult {
   /// One entry per repetition when ExperimentConfig::capture_trace is set
   /// (in rep-index order after run_replicated), empty otherwise.
   std::vector<obs::TraceRun> traces;
+
+  /// One entry per repetition when ExperimentConfig::capture_timeline is
+  /// set (in rep-index order after run_replicated; sharded runs merge
+  /// their regions into the one entry), empty otherwise.
+  std::vector<obs::TimelineRun> timelines;
 
   /// Merges another repetition (different seed) into this aggregate.
   void merge(const RunResult& o);

@@ -36,6 +36,7 @@ struct Region {
   sim::Simulator sim;
   std::unique_ptr<sim::Rng> rng;
   obs::Tracer tracer;
+  obs::TimelineSampler sampler;
   std::unique_ptr<ckpt::EventLog> log;
   std::unique_ptr<ckpt::CheckpointStore> store;
   ckpt::CoordinationTracker tracker;
@@ -70,6 +71,8 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
   const SystemOptions& sys = config.sys;
   MCK_ASSERT_MSG(sys.tracer == nullptr,
                  "the sharded engine manages its own per-region tracers");
+  MCK_ASSERT_MSG(sys.timeline == nullptr,
+                 "the sharded engine manages its own per-region samplers");
   const int n = sys.num_processes;
   MCK_ASSERT(n >= 2);
   const bool lan_mode = sys.transport == TransportKind::kLan;
@@ -113,11 +116,35 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
     obs::Tracer* tracer = nullptr;
     if (tracing) {
       reg.tracer.enable(config.trace_mask);
+      if (config.trace_record_cap > 0) {
+        // The cap applies per region tracer (regions are fixed by the
+        // topology, so the truncation point is shard-count independent).
+        reg.tracer.set_record_cap(config.trace_record_cap);
+      }
       tracer = &reg.tracer;
     }
     reg.sim.set_tracer(tracer);
     reg.store->set_tracer(tracer);
     reg.tracker.set_tracer(tracer);
+
+    // Per-region timeline: each region samples its own partition on its
+    // own lane; the barrier-free merge below recombines rows columnwise
+    // in region-index order. A cellular region serves exactly one MSS
+    // (region r <-> MSS r), so its depth block is one slot based at r.
+    obs::TimelineCounters* tl_counters = nullptr;
+    if (config.capture_timeline) {
+      reg.sampler.configure(config.timeline_interval, lan_mode ? 0 : 1, r);
+      if (config.timeline_interval > 0) {
+        reg.sampler.reserve_rows(
+            static_cast<std::size_t>(config.horizon /
+                                     config.timeline_interval) +
+            16);
+      }
+      tl_counters = reg.sampler.counters();
+      reg.sim.set_timeline(&reg.sampler);
+      reg.store->set_timeline(tl_counters);
+      reg.tracker.set_timeline(tl_counters);
+    }
 
     std::vector<std::uint8_t> owned_map(static_cast<std::size_t>(n), 0);
     for (ProcessId p : reg.owned) owned_map[static_cast<std::size_t>(p)] = 1;
@@ -159,6 +186,15 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
     if (sys.wire_fidelity) {
       transport.set_wire_fidelity(core::universal_codec());
     }
+    if (tl_counters != nullptr) {
+      if (reg.lan) {
+        reg.lan->set_timeline(tl_counters);
+      } else {
+        reg.cell->set_timeline(tl_counters);
+      }
+      register_timeline_pulls(reg.sampler, &reg.stats, &reg.arena,
+                              reg.cell.get());
+    }
 
     reg.protos.resize(static_cast<std::size_t>(n));
     for (ProcessId p : reg.owned) {
@@ -177,6 +213,7 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
       ctx.codec = core::universal_codec();
       ctx.tracer = tracer;
       ctx.arena = &reg.arena;
+      ctx.timeline = tl_counters;
       proto->bind(ctx);
       reg.protos[static_cast<std::size_t>(p)] = std::move(proto);
     }
@@ -549,6 +586,24 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
                        return a.at < b.at;
                      });
     result.traces.push_back(std::move(run));
+  }
+
+  if (config.capture_timeline) {
+    // Per-region row streams end at different ticks (a region goes quiet
+    // when its partition drains); merge_regions pads the short ones with
+    // their post-quiescence final_row, so the merged run's length and
+    // bytes depend only on the region structure — never on --shards.
+    std::vector<obs::TimelineRun> parts;
+    parts.reserve(regions.size());
+    for (auto& reg : regions) {
+      reg->sampler.finalize(reg->sim.live_pending(), reg->sim.slot_count(),
+                            reg->sim.events_executed());
+      parts.push_back(reg->sampler.take_run(sys.seed));
+    }
+    obs::TimelineRun merged_tl = obs::merge_regions(parts);
+    merged_tl.rep = 0;  // re-stamped by run_replicated
+    merged_tl.seed = sys.seed;
+    result.timelines.push_back(std::move(merged_tl));
   }
   return result;
 }

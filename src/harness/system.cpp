@@ -5,6 +5,69 @@
 
 namespace mck::harness {
 
+namespace {
+
+// Pull-source accessors for the timeline sampler: cumulative counters the
+// owners don't push per-event (the sampler reads them once per tick, so a
+// per-event hook would be pure overhead). Plain functions over void*
+// match obs::TimelineSampler::PullSource without giving obs a dependency
+// on harness/rt types.
+std::uint64_t pull_arena_bytes(const void* ctx) {
+  return static_cast<const util::Arena*>(ctx)->bytes_used();
+}
+std::uint64_t pull_arena_reserved(const void* ctx) {
+  return static_cast<const util::Arena*>(ctx)->bytes_reserved();
+}
+std::uint64_t pull_msgs_sent(const void* ctx) {
+  const auto* s = static_cast<const rt::RunStats*>(ctx);
+  std::uint64_t n = 0;
+  for (int k = 0; k < rt::kMsgKindCount; ++k) n += s->msgs_sent[k];
+  return n;
+}
+std::uint64_t pull_deliveries(const void* ctx) {
+  return static_cast<const rt::RunStats*>(ctx)->deliveries;
+}
+std::uint64_t pull_bytes_comp(const void* ctx) {
+  return static_cast<const rt::RunStats*>(ctx)->bytes_sent[0];
+}
+std::uint64_t pull_bytes_sys(const void* ctx) {
+  return static_cast<const rt::RunStats*>(ctx)->system_bytes();
+}
+std::uint64_t pull_wire_bytes_comp(const void* ctx) {
+  return static_cast<const rt::RunStats*>(ctx)->wire_bytes_sent[0];
+}
+std::uint64_t pull_wire_bytes_sys(const void* ctx) {
+  return static_cast<const rt::RunStats*>(ctx)->system_wire_bytes();
+}
+std::uint64_t pull_buffered_total(const void* ctx) {
+  return static_cast<const mobile::CellularTransport*>(ctx)
+      ->messages_buffered();
+}
+std::uint64_t pull_forwarded_total(const void* ctx) {
+  return static_cast<const mobile::CellularTransport*>(ctx)
+      ->messages_forwarded();
+}
+
+}  // namespace
+
+void register_timeline_pulls(obs::TimelineSampler& tl,
+                             const rt::RunStats* stats,
+                             const util::Arena* arena,
+                             const mobile::CellularTransport* cell) {
+  tl.add_pull(obs::kColArenaBytes, &pull_arena_bytes, arena);
+  tl.add_pull(obs::kColArenaReserved, &pull_arena_reserved, arena);
+  tl.add_pull(obs::kColMsgsSent, &pull_msgs_sent, stats);
+  tl.add_pull(obs::kColDeliveries, &pull_deliveries, stats);
+  tl.add_pull(obs::kColBytesComp, &pull_bytes_comp, stats);
+  tl.add_pull(obs::kColBytesSys, &pull_bytes_sys, stats);
+  tl.add_pull(obs::kColWireBytesComp, &pull_wire_bytes_comp, stats);
+  tl.add_pull(obs::kColWireBytesSys, &pull_wire_bytes_sys, stats);
+  if (cell != nullptr) {
+    tl.add_pull(obs::kColBufferedTotal, &pull_buffered_total, cell);
+    tl.add_pull(obs::kColForwardedTotal, &pull_forwarded_total, cell);
+  }
+}
+
 const char* to_string(Algorithm a) {
   switch (a) {
     case Algorithm::kCaoSinghal: return "cao-singhal";
@@ -115,6 +178,24 @@ System::System(SystemOptions opts)
     transport().set_wire_fidelity(core::universal_codec());
   }
 
+  // Timeline wiring: every gauge owner gets the sampler's counter block,
+  // the cumulative totals become pull sources, and the simulator's event
+  // loop is armed. An unconfigured sampler is treated as absent so the
+  // hot paths keep their single untaken branch.
+  if (opts_.timeline != nullptr && opts_.timeline->enabled()) {
+    obs::TimelineSampler* tl = opts_.timeline;
+    obs::TimelineCounters* c = tl->counters();
+    sim_.set_timeline(tl);
+    store_.set_timeline(c);
+    tracker_.set_timeline(c);
+    if (lan_) {
+      lan_->set_timeline(c);
+    } else {
+      cell_->set_timeline(c);
+    }
+    register_timeline_pulls(*tl, &stats_, &arena_, cell_.get());
+  }
+
   protos_.reserve(static_cast<std::size_t>(opts_.num_processes));
   for (ProcessId p = 0; p < opts_.num_processes; ++p) {
     std::unique_ptr<rt::CheckpointProtocol> proto =
@@ -133,6 +214,9 @@ System::System(SystemOptions opts)
     ctx.codec = core::universal_codec();
     ctx.tracer = opts_.tracer;
     ctx.arena = &arena_;
+    ctx.timeline = opts_.timeline != nullptr && opts_.timeline->enabled()
+                       ? opts_.timeline->counters()
+                       : nullptr;
     proto->bind(ctx);
     protos_.push_back(std::move(proto));
   }

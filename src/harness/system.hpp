@@ -21,6 +21,7 @@
 #include "core/cao_singhal.hpp"
 #include "mobile/cellular.hpp"
 #include "net/lan.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "rt/protocol.hpp"
 #include "sim/rng.hpp"
@@ -53,6 +54,15 @@ std::unique_ptr<rt::CheckpointProtocol> make_protocol(
 /// Post-bind initialization: calls the algorithm-specific start().
 void start_protocol(Algorithm a, rt::CheckpointProtocol& proto);
 
+/// Registers the standard cumulative pull sources on a timeline sampler:
+/// RunStats totals, arena telemetry and (when `cell` is non-null) the
+/// cellular transport's buffered/forwarded counters. Shared by System and
+/// the sharded engine's per-region wiring so both emit identical columns.
+void register_timeline_pulls(obs::TimelineSampler& tl,
+                             const rt::RunStats* stats,
+                             const util::Arena* arena,
+                             const mobile::CellularTransport* cell);
+
 enum class TransportKind { kLan, kCellular };
 
 struct SystemOptions {
@@ -75,6 +85,14 @@ struct SystemOptions {
   /// layer — simulator, transport, store, tracker, protocols — records
   /// into it. Null keeps the hot path at a single untaken branch per site.
   obs::Tracer* tracer = nullptr;
+
+  /// Run-health timeline sampler (DESIGN.md 3f). When non-null *and*
+  /// configured, the constructor attaches its gauge block to every owner
+  /// (transport, store, tracker, protocols), registers the pull sources
+  /// (stats / arena / transport cumulatives) and arms the simulator's
+  /// sampling hook. Null or unconfigured keeps every hot-path site at a
+  /// single untaken branch.
+  obs::TimelineSampler* timeline = nullptr;
 };
 
 class System {

@@ -89,6 +89,7 @@ void CellularTransport::launch(rt::Message msg) {
   } else {
     sys_fifo_.stamp(msg);
   }
+  if (timeline_ != nullptr) ++timeline_->in_flight;
   MssId src_mss = mss_of_[static_cast<std::size_t>(msg.src)];
   MssId dst_mss = mss_of_[static_cast<std::size_t>(msg.dst)];
   sim::SimTime at = sim_.now() + path_delay(src_mss, dst_mss, msg.size_bytes);
@@ -139,6 +140,7 @@ void CellularTransport::broadcast(rt::Message msg) {
   }
   for (ProcessId p = 0; p < n; ++p) {
     if (p == msg.src) continue;
+    if (timeline_ != nullptr) ++timeline_->in_flight;
     const MssId dst_mss = mss_of_[static_cast<std::size_t>(p)];
     if (!owned_.empty() && !owned_[static_cast<std::size_t>(p)]) {
       // Cross-region recipients keep the per-recipient emit path: the
@@ -195,6 +197,7 @@ void CellularTransport::deliver_batch(const std::shared_ptr<BroadcastBatch>& bat
       rt::Message m = b->tmpl;
       decode_from_wire(m);
       for (std::size_t k = s; k < end; ++k) {
+        if (timeline_ != nullptr) --timeline_->in_flight;
         m.dst = b->entries[k].pid;
         m.channel_seq = b->entries[k].seq;
         MCK_ASSERT_MSG(
@@ -252,6 +255,12 @@ void CellularTransport::arrive(rt::Message msg, MssId routed_to) {
     if (is_disconnected(m.dst) && m.kind == rt::MsgKind::kComputation) {
       // Buffered at the MSS until reconnection (Section 2.2).
       ++buffered_total_;
+      if (timeline_ != nullptr) {
+        --timeline_->in_flight;  // off the wire, parked at the MSS
+        ++timeline_->buffered_now;
+        ++timeline_->mss_depth[static_cast<std::size_t>(
+            mss_of_[static_cast<std::size_t>(m.dst)] - timeline_->mss_base)];
+      }
       if (tracer_ != nullptr) {
         tracer_->record(obs::TraceKind::kMsgBuffered, sim_.now(), m.dst,
                         static_cast<std::uint8_t>(m.kind),
@@ -267,6 +276,7 @@ void CellularTransport::arrive(rt::Message msg, MssId routed_to) {
 }
 
 void CellularTransport::hand_to_process(rt::Message msg) {
+  if (timeline_ != nullptr) --timeline_->in_flight;
   // Wire-fidelity mode: messages stay encoded through forwarding and MSS
   // buffering; the payload is only re-materialized here, at the last hop.
   decode_from_wire(msg);
@@ -315,6 +325,7 @@ void CellularTransport::disconnect(ProcessId pid) {
   MCK_ASSERT_MSG(owned_.empty(), "mobility unsupported with --shards");
   MCK_ASSERT(!is_disconnected(pid));
   disconnected_[static_cast<std::size_t>(pid)] = 1;
+  if (timeline_ != nullptr) ++timeline_->disconnected;
   if (tracer_ != nullptr) {
     tracer_->record(obs::TraceKind::kDisconnect, sim_.now(), pid, 0, 0,
                     static_cast<std::uint64_t>(
@@ -328,6 +339,10 @@ void CellularTransport::reconnect(ProcessId pid, MssId at) {
   MCK_ASSERT(is_disconnected(pid));
   MCK_ASSERT(at >= 0 && at < params_.num_mss);
   disconnected_[static_cast<std::size_t>(pid)] = 0;
+  if (timeline_ != nullptr) --timeline_->disconnected;
+  // The buffered messages live at the *old* MSS — snapshot it before the
+  // reassignment below so the depth gauge drains the right slot.
+  const MssId old_mss = mss_of_[static_cast<std::size_t>(pid)];
   mss_of_[static_cast<std::size_t>(pid)] = at;
   cell_of_[static_cast<std::size_t>(pid)] = at;
   auto buffered = buffer_.find(pid);
@@ -345,6 +360,14 @@ void CellularTransport::reconnect(ProcessId pid, MssId at) {
   }
   sim::SimTime at_time = sim_.now() + params_.wired_latency;
   for (rt::Message& m : pending) {
+    if (timeline_ != nullptr) {
+      // Back on the wire for the final downlink; hand_to_process takes it
+      // off in_flight again on delivery.
+      --timeline_->buffered_now;
+      --timeline_->mss_depth[static_cast<std::size_t>(old_mss -
+                                                      timeline_->mss_base)];
+      ++timeline_->in_flight;
+    }
     at_time += wireless_tx(m.size_bytes);
     sim_.schedule_at(at_time, [this, msg = std::move(m)]() mutable {
       hand_to_process(std::move(msg));

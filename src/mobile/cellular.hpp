@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "net/fifo.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "rt/transport.hpp"
 #include "sim/simulator.hpp"
@@ -103,6 +104,12 @@ class CellularTransport final : public rt::Transport {
 
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches the timeline gauge block (null = off). The transport owns
+  /// in_flight (stamped -> handed to the process / buffered), buffered_now
+  /// plus the per-MSS depth gauges (MSS buffering for disconnected MHs),
+  /// and the disconnected-MH gauge.
+  void set_timeline(obs::TimelineCounters* t) { timeline_ = t; }
+
   /// Sharded-mode hook (conservative PDES): this transport instance now
   /// serves one cell's region. A message bound for a process outside
   /// `owned` is handed to `emit` (stamped, with its final arrival time
@@ -163,6 +170,7 @@ class CellularTransport final : public rt::Transport {
   sim::Simulator& sim_;
   CellularParams params_;
   obs::Tracer* tracer_ = nullptr;
+  obs::TimelineCounters* timeline_ = nullptr;
   std::vector<rt::DeliverFn> sinks_;
   std::vector<std::uint8_t> owned_;  // sharded mode: pids this region runs
   EmitFn emit_;                      // sharded mode: cross-region handoff

@@ -82,6 +82,7 @@ void LanTransport::deliver_at(sim::SimTime at, rt::Message msg) {
   if (!reachable(msg.dst) && !survives_endpoint_failure(msg.kind)) return;
   fifo_.stamp(msg);
   ++transmissions_;
+  if (timeline_ != nullptr) ++timeline_->in_flight;
   if (!owned_.empty() && !owned_[static_cast<std::size_t>(msg.dst)]) {
     MCK_ASSERT(at >= sim_.now() + min_cross_delay());
     emit_(at, std::move(msg));  // cross-region: the engine routes it
@@ -96,6 +97,9 @@ void LanTransport::arrive(rt::Message msg) {
   // FIFO per ordered pair (Section 2.1): overtakers wait for their
   // predecessors.
   fifo_.arrive(std::move(msg), [this](rt::Message m) {
+    // Consumed either way below: delivered to the sink or dropped for a
+    // failed endpoint — both take it off the wire.
+    if (timeline_ != nullptr) --timeline_->in_flight;
     if (!reachable(m.dst) && !survives_endpoint_failure(m.kind)) {
       return;  // failed meanwhile
     }

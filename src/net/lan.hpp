@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/fifo.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "rt/transport.hpp"
@@ -78,6 +79,14 @@ class LanTransport final : public rt::Transport {
 
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches the timeline gauge block (null = off). The transport owns
+  /// the in_flight gauge: +1 when a message is stamped onto a channel,
+  /// -1 when the FIFO sequencer releases it to the sink (or drops it for
+  /// a failed endpoint). Cross-region messages increment in the sending
+  /// region and decrement in the receiving one; the shard merge's signed
+  /// sum cancels the imbalance exactly.
+  void set_timeline(obs::TimelineCounters* t) { timeline_ = t; }
+
   /// Sharded-mode hook (conservative PDES): this transport instance now
   /// serves one region. A message whose destination is not in `owned` is
   /// handed to `emit` (fully stamped, with its final arrival time)
@@ -119,6 +128,7 @@ class LanTransport final : public rt::Transport {
   LanParams params_;
   sim::Rng* rng_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::TimelineCounters* timeline_ = nullptr;
   std::vector<rt::DeliverFn> sinks_;
   std::vector<std::uint8_t> owned_;  // sharded mode: pids this region runs
   EmitFn emit_;                      // sharded mode: cross-region handoff

@@ -373,6 +373,17 @@ void audit_records(const std::vector<TraceRecord>& records, int num_processes,
         rd.last_acc = acc;
         break;
       }
+      case TraceKind::kTruncated:
+        // The recorder hit its cap and dropped the tail of the run. Every
+        // absence-based check (conservation, termination, lifecycle
+        // completion) is now unfalsifiable, so the rep is refused
+        // certification outright.
+        violate(AuditCheck::kTruncation, r.at, 0,
+                fmt("trace truncated: %llu record(s) dropped since "
+                    "t=%.6fs — cannot certify this rep",
+                    static_cast<unsigned long long>(r.arg0),
+                    static_cast<double>(r.arg1) / 1e9));
+        break;
       default:
         break;
     }

@@ -21,6 +21,10 @@
 //   blocking     — no computation send from inside a kBlock/kUnblock
 //                  window (the mutable-checkpoint protocol's selling
 //                  point is that it never blocks).
+//   truncation   — the trace is complete: a kTruncated marker (record-cap
+//                  overflow) means the tail of the run is missing, so no
+//                  absence-based verdict can be trusted and the rep is
+//                  refused certification.
 //
 // On top of the causal graph the auditor attributes each committed
 // round's init -> commit latency to wire / retry / MSS-buffer /
@@ -44,8 +48,9 @@ enum class AuditCheck : std::uint8_t {
   kWeight,
   kLifecycle,
   kBlocking,
+  kTruncation,
 };
-inline constexpr int kAuditCheckCount = 5;
+inline constexpr int kAuditCheckCount = 6;
 
 inline const char* to_string(AuditCheck c) {
   switch (c) {
@@ -54,6 +59,7 @@ inline const char* to_string(AuditCheck c) {
     case AuditCheck::kWeight: return "weight";
     case AuditCheck::kLifecycle: return "lifecycle";
     case AuditCheck::kBlocking: return "blocking";
+    case AuditCheck::kTruncation: return "truncation";
   }
   return "?";
 }

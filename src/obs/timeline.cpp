@@ -1,0 +1,383 @@
+#include "obs/timeline.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace mck::obs {
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr TimelineColumn kColumns[kTimelineNumColumns] = {
+    {"time_ns", TimelineValue::kU64, TimelineMerge::kTime},
+    {"events_executed", TimelineValue::kU64, TimelineMerge::kSum},
+    {"queue_depth", TimelineValue::kU64, TimelineMerge::kSum},
+    {"event_slots", TimelineValue::kU64, TimelineMerge::kSum},
+    {"arena_bytes", TimelineValue::kU64, TimelineMerge::kSum},
+    {"arena_reserved", TimelineValue::kU64, TimelineMerge::kSum},
+    {"in_flight", TimelineValue::kI64, TimelineMerge::kSum},
+    {"buffered_now", TimelineValue::kI64, TimelineMerge::kSum},
+    {"blocked_procs", TimelineValue::kI64, TimelineMerge::kSum},
+    {"active_inits", TimelineValue::kI64, TimelineMerge::kSum},
+    {"outstanding_weight", TimelineValue::kF64, TimelineMerge::kSumF64},
+    {"ckpt_mutable", TimelineValue::kI64, TimelineMerge::kSum},
+    {"ckpt_tentative", TimelineValue::kI64, TimelineMerge::kSum},
+    {"ckpt_permanent", TimelineValue::kI64, TimelineMerge::kSum},
+    {"ckpt_disconnect", TimelineValue::kI64, TimelineMerge::kSum},
+    {"disconnected_mhs", TimelineValue::kI64, TimelineMerge::kSum},
+    {"mss_buf_min", TimelineValue::kU64, TimelineMerge::kMssMin},
+    {"mss_buf_max", TimelineValue::kU64, TimelineMerge::kMssMax},
+    {"mss_buf_sum", TimelineValue::kU64, TimelineMerge::kSum},
+    {"mss_count", TimelineValue::kU64, TimelineMerge::kSum},
+    {"msgs_sent", TimelineValue::kU64, TimelineMerge::kSum},
+    {"deliveries", TimelineValue::kU64, TimelineMerge::kSum},
+    {"bytes_comp", TimelineValue::kU64, TimelineMerge::kSum},
+    {"bytes_sys", TimelineValue::kU64, TimelineMerge::kSum},
+    {"wire_bytes_comp", TimelineValue::kU64, TimelineMerge::kSum},
+    {"wire_bytes_sys", TimelineValue::kU64, TimelineMerge::kSum},
+    {"buffered_total", TimelineValue::kU64, TimelineMerge::kSum},
+    {"forwarded_total", TimelineValue::kU64, TimelineMerge::kSum},
+};
+
+}  // namespace
+
+const TimelineColumn* timeline_columns() { return kColumns; }
+
+std::vector<TimelineColumnMeta> builtin_timeline_schema() {
+  std::vector<TimelineColumnMeta> out;
+  out.reserve(kTimelineNumColumns);
+  for (const TimelineColumn& c : kColumns) {
+    out.push_back(TimelineColumnMeta{c.name, c.value, c.merge});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+void TimelineSampler::configure(sim::SimTime interval, int mss_count,
+                                int mss_base) {
+  interval_ = interval > 0 ? interval : 0;
+  next_due_ = interval_ > 0 ? 0 : sim::kTimeNever;
+  counters_.mss_base = mss_base;
+  counters_.mss_depth.assign(static_cast<std::size_t>(mss_count), 0);
+}
+
+void TimelineSampler::add_pull(int col, std::uint64_t (*fn)(const void*),
+                               const void* ctx) {
+  pulls_.push_back(PullSource{col, fn, ctx});
+}
+
+void TimelineSampler::reserve_rows(std::size_t rows) {
+  data_.reserve(rows * kTimelineNumColumns);
+}
+
+void TimelineSampler::fill_row(std::uint64_t* row, sim::SimTime at,
+                               std::uint64_t live, std::uint64_t slots,
+                               std::uint64_t executed) const {
+  row[kColTime] = static_cast<std::uint64_t>(at);
+  row[kColEventsExecuted] = executed;
+  row[kColQueueDepth] = live;
+  row[kColEventSlots] = slots;
+  const TimelineCounters& c = counters_;
+  row[kColInFlight] = timeline_bits_i64(c.in_flight);
+  row[kColBufferedNow] = timeline_bits_i64(c.buffered_now);
+  row[kColBlockedProcs] = timeline_bits_i64(c.blocked);
+  row[kColActiveInits] = timeline_bits_i64(c.active_inits);
+  row[kColOutstandingWeight] = timeline_bits_f64(c.outstanding_weight);
+  row[kColCkptMutable] = timeline_bits_i64(c.ckpt_live[3]);
+  row[kColCkptTentative] = timeline_bits_i64(c.ckpt_live[2]);
+  row[kColCkptPermanent] = timeline_bits_i64(c.ckpt_live[1]);
+  row[kColCkptDisconnect] = timeline_bits_i64(c.ckpt_live[4]);
+  row[kColDisconnectedMhs] = timeline_bits_i64(c.disconnected);
+  std::uint64_t mn = 0, mx = 0, sum = 0;
+  if (!c.mss_depth.empty()) {
+    mn = UINT64_MAX;
+    for (std::int64_t d : c.mss_depth) {
+      std::uint64_t v = d > 0 ? static_cast<std::uint64_t>(d) : 0;
+      if (v < mn) mn = v;
+      if (v > mx) mx = v;
+      sum += v;
+    }
+  }
+  row[kColMssBufMin] = mn;
+  row[kColMssBufMax] = mx;
+  row[kColMssBufSum] = sum;
+  row[kColMssCount] = c.mss_depth.size();
+  for (const PullSource& p : pulls_) {
+    row[p.col] = p.fn(p.ctx);
+  }
+}
+
+void TimelineSampler::emit_row(sim::SimTime at, std::uint64_t live,
+                               std::uint64_t slots, std::uint64_t executed) {
+  const std::size_t base = data_.size();
+  data_.resize(base + kTimelineNumColumns);
+  fill_row(data_.data() + base, at, live, slots, executed);
+}
+
+void TimelineSampler::finalize(std::uint64_t live, std::uint64_t slots,
+                               std::uint64_t executed) {
+  final_row_.assign(kTimelineNumColumns, 0);
+  fill_row(final_row_.data(), 0, live, slots, executed);
+}
+
+TimelineRun TimelineSampler::take_run(std::uint64_t seed) {
+  TimelineRun run;
+  run.seed = seed;
+  run.interval_ns = static_cast<std::uint64_t>(interval_);
+  run.data = std::move(data_);
+  run.final_row = std::move(final_row_);
+  if (run.final_row.empty()) {
+    // finalize() not called (e.g. disabled sampler): fall back to zeros
+    // so merge padding stays well-defined.
+    run.final_row.assign(kTimelineNumColumns, 0);
+  }
+  data_.clear();
+  final_row_.clear();
+  next_due_ = sim::kTimeNever;
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+TimelineRun merge_regions(const std::vector<TimelineRun>& parts) {
+  TimelineRun out;
+  if (parts.empty()) return out;
+  out.rep = parts.front().rep;
+  out.seed = parts.front().seed;
+  out.interval_ns = parts.front().interval_ns;
+  std::size_t rows = 0;
+  for (const TimelineRun& p : parts) rows = std::max(rows, p.rows());
+  out.data.assign(rows * kTimelineNumColumns, 0);
+  out.final_row.assign(kTimelineNumColumns, 0);
+
+  // cell(p, k, c): region p's value at tick k — its sampled row while the
+  // region was live, its post-quiescence final_row afterwards.
+  auto cell = [](const TimelineRun& p, std::size_t k, int c) {
+    return k < p.rows() ? p.row(k)[c] : p.final_row[c];
+  };
+  auto combine = [&](std::size_t k, std::uint64_t* row,
+                     auto&& value_of) {
+    for (int c = 0; c < kTimelineNumColumns; ++c) {
+      switch (kColumns[c].merge) {
+        case TimelineMerge::kTime:
+          row[c] = k < rows ? static_cast<std::uint64_t>(k) * out.interval_ns
+                            : 0;
+          break;
+        case TimelineMerge::kSum: {
+          std::uint64_t acc = 0;
+          for (const TimelineRun& p : parts) acc += value_of(p, k, c);
+          row[c] = acc;
+          break;
+        }
+        case TimelineMerge::kSumF64: {
+          double acc = 0;
+          for (const TimelineRun& p : parts) {
+            acc += timeline_f64(value_of(p, k, c));
+          }
+          row[c] = timeline_bits_f64(acc);
+          break;
+        }
+        case TimelineMerge::kMssMin: {
+          std::uint64_t acc = UINT64_MAX;
+          bool any = false;
+          for (const TimelineRun& p : parts) {
+            if (value_of(p, k, kColMssCount) == 0) continue;
+            any = true;
+            acc = std::min(acc, value_of(p, k, c));
+          }
+          row[c] = any ? acc : 0;
+          break;
+        }
+        case TimelineMerge::kMssMax: {
+          std::uint64_t acc = 0;
+          for (const TimelineRun& p : parts) {
+            if (value_of(p, k, kColMssCount) == 0) continue;
+            acc = std::max(acc, value_of(p, k, c));
+          }
+          row[c] = acc;
+          break;
+        }
+      }
+    }
+  };
+
+  for (std::size_t k = 0; k < rows; ++k) {
+    combine(k, out.data.data() + k * kTimelineNumColumns, cell);
+  }
+  combine(rows, out.final_row.data(),
+          [](const TimelineRun& p, std::size_t, int c) {
+            return p.final_row[c];
+          });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MCKTL01 I/O (same framing discipline as trace_io.cpp)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kTlMagic[8] = {'M', 'C', 'K', 'T', 'L', '0', '1', '\0'};
+constexpr char kTlRunMagic[4] = {'T', 'L', 'R', '.'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+bool write_all(std::FILE* f, const void* p, std::size_t n) {
+  return n == 0 || std::fwrite(p, 1, n, f) == n;
+}
+
+bool read_all(std::FILE* f, void* p, std::size_t n) {
+  return n == 0 || std::fread(p, 1, n, f) == n;
+}
+
+template <typename T>
+bool write_pod(std::FILE* f, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return write_all(f, &v, sizeof v);
+}
+
+template <typename T>
+bool read_pod(std::FILE* f, T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return read_all(f, &v, sizeof v);
+}
+
+}  // namespace
+
+bool write_timeline_file(const std::string& path, const TimelineFileMeta& meta,
+                         const std::vector<TimelineRun>& runs,
+                         std::string* err) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    set_error(err, "cannot open " + path + " for writing");
+    return false;
+  }
+  bool ok = write_all(f.get(), kTlMagic, sizeof kTlMagic);
+  ok = ok && write_pod(f.get(), static_cast<std::uint32_t>(meta.num_processes));
+  ok = ok && write_pod(f.get(), static_cast<std::uint32_t>(meta.algo.size()));
+  ok = ok && write_all(f.get(), meta.algo.data(), meta.algo.size());
+  ok = ok && write_pod(f.get(), static_cast<std::uint32_t>(meta.columns.size()));
+  for (const TimelineColumnMeta& c : meta.columns) {
+    ok = ok && write_pod(f.get(), static_cast<std::uint8_t>(c.value));
+    ok = ok && write_pod(f.get(), static_cast<std::uint8_t>(c.merge));
+    ok = ok && write_pod(f.get(), static_cast<std::uint16_t>(c.name.size()));
+    ok = ok && write_all(f.get(), c.name.data(), c.name.size());
+  }
+  const std::size_t cols = meta.columns.size();
+  for (const TimelineRun& run : runs) {
+    ok = ok && write_all(f.get(), kTlRunMagic, sizeof kTlRunMagic);
+    ok = ok && write_pod(f.get(), static_cast<std::uint32_t>(run.rep));
+    ok = ok && write_pod(f.get(), run.seed);
+    ok = ok && write_pod(f.get(), run.interval_ns);
+    const std::uint64_t row_count = cols > 0 ? run.data.size() / cols : 0;
+    ok = ok && write_pod(f.get(), row_count);
+    ok = ok && write_all(f.get(), run.data.data(),
+                         row_count * cols * sizeof(std::uint64_t));
+  }
+  if (!ok) {
+    set_error(err, "short write to " + path);
+    return false;
+  }
+  if (std::fflush(f.get()) != 0) {
+    set_error(err, "flush failed for " + path);
+    return false;
+  }
+  return true;
+}
+
+std::optional<TimelineFile> read_timeline_file(const std::string& path,
+                                               std::string* err) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    set_error(err, "cannot open " + path);
+    return std::nullopt;
+  }
+  char magic[8];
+  if (!read_all(f.get(), magic, sizeof magic) ||
+      std::memcmp(magic, kTlMagic, sizeof kTlMagic) != 0) {
+    set_error(err, path + ": not a mck timeline file (bad magic)");
+    return std::nullopt;
+  }
+  TimelineFile out;
+  std::uint32_t n = 0, algo_len = 0, num_cols = 0;
+  if (!read_pod(f.get(), n) || !read_pod(f.get(), algo_len) ||
+      algo_len > 4096) {
+    set_error(err, path + ": corrupt header");
+    return std::nullopt;
+  }
+  out.meta.num_processes = static_cast<int>(n);
+  out.meta.algo.resize(algo_len);
+  if (!read_all(f.get(), out.meta.algo.data(), algo_len) ||
+      !read_pod(f.get(), num_cols) || num_cols == 0 || num_cols > 1024) {
+    set_error(err, path + ": corrupt schema block");
+    return std::nullopt;
+  }
+  out.meta.columns.resize(num_cols);
+  for (TimelineColumnMeta& c : out.meta.columns) {
+    std::uint8_t value = 0, merge = 0;
+    std::uint16_t name_len = 0;
+    if (!read_pod(f.get(), value) || !read_pod(f.get(), merge) ||
+        !read_pod(f.get(), name_len) || name_len > 256) {
+      set_error(err, path + ": corrupt column descriptor");
+      return std::nullopt;
+    }
+    c.value = static_cast<TimelineValue>(value);
+    c.merge = static_cast<TimelineMerge>(merge);
+    c.name.resize(name_len);
+    if (!read_all(f.get(), c.name.data(), name_len)) {
+      set_error(err, path + ": truncated column name");
+      return std::nullopt;
+    }
+  }
+  for (;;) {
+    char run_magic[4];
+    std::size_t got = std::fread(run_magic, 1, sizeof run_magic, f.get());
+    if (got == 0) break;  // clean EOF
+    if (got != sizeof run_magic ||
+        std::memcmp(run_magic, kTlRunMagic, sizeof kTlRunMagic) != 0) {
+      set_error(err, path + ": corrupt run section");
+      return std::nullopt;
+    }
+    TimelineRun run;
+    std::uint32_t rep = 0;
+    std::uint64_t row_count = 0;
+    if (!read_pod(f.get(), rep) || !read_pod(f.get(), run.seed) ||
+        !read_pod(f.get(), run.interval_ns) || !read_pod(f.get(), row_count)) {
+      set_error(err, path + ": truncated run header");
+      return std::nullopt;
+    }
+    run.rep = static_cast<int>(rep);
+    if (row_count > (1ull << 30)) {
+      set_error(err, path + ": implausible row count");
+      return std::nullopt;
+    }
+    run.data.resize(row_count * num_cols);
+    if (!read_all(f.get(), run.data.data(),
+                  row_count * num_cols * sizeof(std::uint64_t))) {
+      set_error(err, path + ": truncated rows");
+      return std::nullopt;
+    }
+    out.runs.push_back(std::move(run));
+  }
+  return out;
+}
+
+}  // namespace mck::obs

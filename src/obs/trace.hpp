@@ -78,6 +78,10 @@ enum class TraceKind : std::uint8_t {
   // ---- audit companion records ---------------------------------------
   kCkptCursor,      // event-log cursor of a just-taken checkpoint:
                     //   sub=CkptKind  arg0=ref  arg1=event cursor
+  // ---- recorder self-reports -----------------------------------------
+  kTruncated,       // record cap hit, tail dropped: pid=-1
+                    //   arg0=records dropped  arg1=at of first dropped (ns)
+                    //   at=time of the last dropped record
   kCount
 };
 
@@ -113,6 +117,7 @@ inline const char* to_string(TraceKind k) {
     case TraceKind::kWeightSplit: return "weight-split";
     case TraceKind::kWeightReturn: return "weight-return";
     case TraceKind::kCkptCursor: return "ckpt-cursor";
+    case TraceKind::kTruncated: return "truncated";
     case TraceKind::kCount: break;
   }
   return "?";
@@ -188,10 +193,28 @@ class Tracer {
   bool enabled(TraceKind k) const { return (mask_ & mask_of(k)) != 0; }
   std::uint64_t mask() const { return mask_; }
 
+  /// Caps the buffer at `cap` records (0 = unlimited, the default). Past
+  /// the cap, records are counted and dropped instead of growing the
+  /// chunk list, and take_records() appends one final kTruncated marker
+  /// carrying the drop count — so tracing a 100k+-host run degrades to an
+  /// honest, bounded prefix instead of an OOM kill. Downstream consumers
+  /// (mcktrace stats, mckaudit) must surface the marker: a truncated rep
+  /// cannot be certified.
+  void set_record_cap(std::uint64_t cap) { cap_ = cap; }
+  std::uint64_t record_cap() const { return cap_; }
+  bool truncated() const { return dropped_ > 0; }
+  std::uint64_t dropped() const { return dropped_; }
+
   void record(TraceKind kind, sim::SimTime at, std::int32_t pid,
               std::uint8_t sub, std::uint16_t aux, std::uint64_t arg0 = 0,
               std::uint64_t arg1 = 0) {
     if ((mask_ & mask_of(kind)) == 0) return;
+    if (cap_ != 0 && count_ >= cap_) {
+      if (dropped_ == 0) first_dropped_at_ = at;
+      last_dropped_at_ = at;
+      ++dropped_;
+      return;
+    }
     if (fill_ == kChunkRecords) grow();
     TraceRecord& r = cur_[fill_++];
     r.at = at;
@@ -213,18 +236,32 @@ class Tracer {
   sim::SimTime last_at() const { return last_at_; }
 
   /// Copies every record out, in append order, and resets the buffers.
+  /// A capped tracer that dropped records appends one kTruncated marker
+  /// stamped with the drop count and the dropped time range.
   std::vector<TraceRecord> take_records() {
     std::vector<TraceRecord> out;
-    out.reserve(static_cast<std::size_t>(count_));
+    out.reserve(static_cast<std::size_t>(count_) + (dropped_ > 0 ? 1 : 0));
     for (std::size_t c = 0; c < chunks_.size(); ++c) {
       std::size_t n = c + 1 == chunks_.size() ? fill_ : kChunkRecords;
       const TraceRecord* p = chunks_[c].get();
       out.insert(out.end(), p, p + n);
     }
+    if (dropped_ > 0) {
+      TraceRecord r{};
+      r.at = last_dropped_at_;
+      r.arg0 = dropped_;
+      r.arg1 = static_cast<std::uint64_t>(first_dropped_at_);
+      r.pid = -1;
+      r.kind = static_cast<std::uint8_t>(TraceKind::kTruncated);
+      out.push_back(r);
+    }
     chunks_.clear();
     cur_ = nullptr;
     fill_ = kChunkRecords;  // forces grow() on the next record
     count_ = 0;
+    dropped_ = 0;
+    first_dropped_at_ = sim::kTimeZero;
+    last_dropped_at_ = sim::kTimeZero;
     return out;
   }
 
@@ -241,6 +278,10 @@ class Tracer {
   TraceRecord* cur_ = nullptr;
   std::size_t fill_ = kChunkRecords;
   std::uint64_t count_ = 0;
+  std::uint64_t cap_ = 0;  // 0 = unlimited
+  std::uint64_t dropped_ = 0;
+  sim::SimTime first_dropped_at_ = sim::kTimeZero;
+  sim::SimTime last_dropped_at_ = sim::kTimeZero;
   sim::SimTime last_at_ = sim::kTimeZero;
   std::vector<std::unique_ptr<TraceRecord[]>> chunks_;
 };

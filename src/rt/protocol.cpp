@@ -193,12 +193,14 @@ void CheckpointProtocol::block() {
   if (blocked_) return;
   blocked_ = true;
   blocked_since_ = ctx_.sim->now();
+  if (ctx_.timeline != nullptr) ++ctx_.timeline->blocked;
   trace(ctx_, obs::TraceKind::kBlock, 0, 0, 0, 0);
 }
 
 void CheckpointProtocol::unblock() {
   if (!blocked_) return;
   blocked_ = false;
+  if (ctx_.timeline != nullptr) --ctx_.timeline->blocked;
   sim::SimTime blocked_for = ctx_.sim->now() - blocked_since_;
   ctx_.stats->blocked_time_total += blocked_for;
   trace(ctx_, obs::TraceKind::kUnblock, 0, 0,

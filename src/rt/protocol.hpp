@@ -15,6 +15,7 @@
 #include "ckpt/event_log.hpp"
 #include "ckpt/store.hpp"
 #include "ckpt/tracker.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "rt/message.hpp"
 #include "rt/transport.hpp"
@@ -123,6 +124,10 @@ struct ProcessContext {
   /// mid-run — see DESIGN.md "Hot-path memory discipline" for what may
   /// and may not be arena-backed.
   util::Arena* arena = nullptr;
+  /// Timeline gauge block (null = off). The protocol base maintains the
+  /// blocked-process gauge here; other owners (store, tracker, transport)
+  /// hold their own pointer to the same per-region block.
+  obs::TimelineCounters* timeline = nullptr;
 };
 
 class CheckpointProtocol {

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/inline_event.hpp"
 #include "sim/time.hpp"
@@ -101,6 +102,14 @@ class Simulator {
   /// every fire/cancel is recorded and the queue depth is sampled every
   /// kQueueSampleEvery events.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches a timeline sampler (null = off, the default). Same cost
+  /// discipline as the tracer: detached, the hot path pays one null test
+  /// per event; attached, one compare against the next tick time. Rows
+  /// are emitted from inside step() *before* the due event fires, so a
+  /// tick at time t records the state after every event with at < t —
+  /// no sampling events are scheduled and event ordering is untouched.
+  void set_timeline(obs::TimelineSampler* timeline) { timeline_ = timeline; }
 
   static constexpr std::uint64_t kQueueSampleEvery = 256;
 
@@ -212,6 +221,7 @@ class Simulator {
   std::uint64_t pending_cancelled_ = 0;
   bool stop_requested_ = false;
   obs::Tracer* tracer_ = nullptr;
+  obs::TimelineSampler* timeline_ = nullptr;
 };
 
 inline bool EventHandle::valid() const {
@@ -314,6 +324,9 @@ inline bool Simulator::step(SimTime until) {
       ++tombstones_reaped_;
       --pending_cancelled_;
       continue;
+    }
+    if (timeline_ != nullptr && rec.at >= timeline_->next_due()) {
+      timeline_->sample_due(rec.at, live_pending(), num_slots_, executed_);
     }
     // Bump the generation *before* running the callable: a late
     // EventHandle::cancel() (including self-cancel from inside the event)

@@ -21,6 +21,7 @@
 #include "core/payloads.hpp"
 #include "mobile/cellular.hpp"
 #include "net/lan.hpp"
+#include "obs/timeline.hpp"
 #include "rt/message.hpp"
 #include "sim/simulator.hpp"
 #include "util/pool.hpp"
@@ -109,6 +110,47 @@ TEST(HotPathAllocs, SteadyStateEventLoopIsAllocationFree) {
   std::uint64_t a1 = allocs();
   EXPECT_EQ(a1 - a0, 0u) << "steady-state schedule/fire must not allocate";
   sim.run_until();
+}
+
+TEST(HotPathAllocs, TimelineSamplingSteadyStateIsAllocationFree) {
+  // With the run-health sampler armed (and its row storage pre-sized,
+  // as the harness does via reserve_rows), the per-event hook is one
+  // compare and each tick's row lands in reserved capacity — the event
+  // loop must stay allocation-free either way.
+  sim::Simulator sim;
+  obs::TimelineSampler tl;
+  tl.configure(sim::seconds(1));
+  tl.reserve_rows(2000);
+  sim.set_timeline(&tl);
+
+  std::uint64_t fired = 0;
+  const int kPending = 32;
+  sim::Simulator* s = &sim;
+  std::uint64_t* f = &fired;
+  for (int i = 0; i < kPending; ++i) {
+    struct Ring {
+      sim::Simulator* sim;
+      std::uint64_t* fired;
+      void operator()() {
+        ++*fired;
+        if (*fired < 20000) {
+          sim->schedule_after(sim::seconds(1), Ring{sim, fired});
+        }
+      }
+    };
+    sim.schedule_after(sim::seconds(1), Ring{s, f});
+  }
+  while (fired < 2000 && sim.step()) {
+  }
+  std::uint64_t a0 = allocs();
+  while (fired < 12000 && sim.step()) {
+  }
+  EXPECT_EQ(allocs() - a0, 0u)
+      << "sampling into reserved rows must not allocate";
+  sim.run_until();
+  tl.finalize(sim.live_pending(), sim.slot_count(), sim.events_executed());
+  obs::TimelineRun run = tl.take_run(1);
+  EXPECT_GT(run.rows(), 100u) << "the sampler must actually have sampled";
 }
 
 TEST(HotPathAllocs, PooledPayloadSteadyStateIsAllocationFree) {

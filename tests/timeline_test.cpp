@@ -1,0 +1,451 @@
+// Run-health timeline (obs/timeline.hpp): the acceptance invariant
+// extends the sharded-byte-identity contract to telemetry — timeline rows
+// are a pure function of (config, seed), never of --shards or --jobs —
+// and every gauge must reconcile with the aggregates the run reports
+// elsewhere (RunStats, the flight-recorder summary).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/sharded.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/round_metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace mck {
+namespace {
+
+harness::ExperimentConfig cellular_config(harness::Algorithm a) {
+  harness::ExperimentConfig cfg;
+  cfg.sys.algorithm = a;
+  cfg.sys.num_processes = 8;
+  cfg.sys.seed = 7;
+  cfg.sys.transport = harness::TransportKind::kCellular;  // 4 MSS regions
+  cfg.rate = 0.02;
+  cfg.ckpt_interval = sim::seconds(600);
+  cfg.horizon = sim::seconds(1800);
+  cfg.capture_timeline = true;
+  cfg.timeline_interval = sim::seconds(30);
+  return cfg;
+}
+
+harness::ExperimentConfig lan_config(harness::Algorithm a) {
+  harness::ExperimentConfig cfg = cellular_config(a);
+  cfg.sys.transport = harness::TransportKind::kLan;
+  return cfg;
+}
+
+constexpr harness::Algorithm kAllAlgorithms[] = {
+    harness::Algorithm::kCaoSinghal,    harness::Algorithm::kKooToueg,
+    harness::Algorithm::kElnozahy,      harness::Algorithm::kChandyLamport,
+    harness::Algorithm::kLaiYang,       harness::Algorithm::kSimpleScheme,
+    harness::Algorithm::kRevisedScheme, harness::Algorithm::kUncoordinated,
+};
+
+void expect_same_timelines(const std::vector<obs::TimelineRun>& a,
+                           const std::vector<obs::TimelineRun>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("rep " + std::to_string(i));
+    EXPECT_EQ(a[i].rep, b[i].rep);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].interval_ns, b[i].interval_ns);
+    ASSERT_EQ(a[i].data.size(), b[i].data.size());
+    EXPECT_EQ(std::memcmp(a[i].data.data(), b[i].data.data(),
+                          a[i].data.size() * sizeof(std::uint64_t)),
+              0);
+    ASSERT_EQ(a[i].final_row.size(), b[i].final_row.size());
+    EXPECT_EQ(std::memcmp(a[i].final_row.data(), b[i].final_row.data(),
+                          a[i].final_row.size() * sizeof(std::uint64_t)),
+              0);
+  }
+}
+
+std::int64_t cell_i64(const obs::TimelineRun& run, std::size_t k, int col) {
+  return obs::timeline_i64(run.row(k)[col]);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: --shards x --jobs must not move a single byte.
+// ---------------------------------------------------------------------------
+
+TEST(TimelineDeterminism, ShardsAndJobsCrossProductIsByteIdentical) {
+  harness::ExperimentConfig cfg =
+      cellular_config(harness::Algorithm::kCaoSinghal);
+  const int reps = 2;
+  harness::RunResult base = harness::run_replicated(cfg, reps, 1, 1);
+  ASSERT_EQ(base.timelines.size(), static_cast<std::size_t>(reps));
+  ASSERT_GT(base.timelines[0].rows(), 0u);
+  for (int shards : {1, 2, 4}) {
+    for (int jobs : {1, 4}) {
+      if (shards == 1 && jobs == 1) continue;
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " jobs=" + std::to_string(jobs));
+      harness::RunResult other = harness::run_replicated(cfg, reps, jobs,
+                                                         shards);
+      expect_same_timelines(base.timelines, other.timelines);
+    }
+  }
+}
+
+TEST(TimelineDeterminism, AllAlgorithmsByteIdenticalAcrossShardCounts) {
+  for (harness::Algorithm a : kAllAlgorithms) {
+    SCOPED_TRACE(harness::to_string(a));
+    harness::ExperimentConfig cfg = cellular_config(a);
+    harness::RunResult s1 = harness::run_replicated(cfg, 1, 1, 1);
+    harness::RunResult s4 = harness::run_replicated(cfg, 1, 1, 4);
+    expect_same_timelines(s1.timelines, s4.timelines);
+  }
+}
+
+TEST(TimelineDeterminism, LanRegionsMergeIdenticallyToo) {
+  harness::ExperimentConfig cfg = lan_config(harness::Algorithm::kKooToueg);
+  harness::RunResult s1 = harness::run_replicated(cfg, 1, 1, 1);
+  harness::RunResult s4 = harness::run_replicated(cfg, 1, 4, 4);
+  expect_same_timelines(s1.timelines, s4.timelines);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge cross-checks: the sampled columns must reconcile with the run's
+// own aggregates on every algorithm.
+// ---------------------------------------------------------------------------
+
+TEST(TimelineGauges, ReconcileWithRunStatsOnAllAlgorithms) {
+  for (harness::Algorithm a : kAllAlgorithms) {
+    SCOPED_TRACE(harness::to_string(a));
+    harness::ExperimentConfig cfg = cellular_config(a);
+    cfg.capture_trace = true;
+    harness::RunResult res = harness::run_experiment(cfg);
+    ASSERT_EQ(res.timelines.size(), 1u);
+    const obs::TimelineRun& tl = res.timelines[0];
+    const std::size_t rows = tl.rows();
+    ASSERT_GT(rows, 0u);
+    // Ticks land on the interval grid, starting at t=0.
+    for (std::size_t k = 0; k < rows; ++k) {
+      ASSERT_EQ(tl.row(k)[obs::kColTime],
+                k * static_cast<std::uint64_t>(cfg.timeline_interval))
+          << "row " << k;
+    }
+    // Cumulative columns never decrease.
+    for (int col : {obs::kColEventsExecuted, obs::kColMsgsSent,
+                    obs::kColDeliveries, obs::kColBytesComp,
+                    obs::kColBytesSys, obs::kColBufferedTotal,
+                    obs::kColForwardedTotal}) {
+      for (std::size_t k = 1; k < rows; ++k) {
+        ASSERT_GE(tl.row(k)[col], tl.row(k - 1)[col])
+            << "column " << col << " row " << k;
+      }
+    }
+    // Post-quiescence: nothing is on the wire, parked, or blocked, and
+    // the cumulative totals equal the run's aggregates.
+    ASSERT_EQ(tl.final_row.size(),
+              static_cast<std::size_t>(obs::kTimelineNumColumns));
+    const std::uint64_t* fin = tl.final_row.data();
+    EXPECT_EQ(obs::timeline_i64(fin[obs::kColInFlight]), 0);
+    EXPECT_EQ(obs::timeline_i64(fin[obs::kColBufferedNow]), 0);
+    EXPECT_EQ(obs::timeline_i64(fin[obs::kColBlockedProcs]), 0);
+    EXPECT_EQ(obs::timeline_i64(fin[obs::kColMssBufSum]), 0);
+    EXPECT_EQ(fin[obs::kColDeliveries], res.stats.deliveries);
+    std::uint64_t sent = 0;
+    for (int k = 0; k < rt::kMsgKindCount; ++k) sent += res.stats.msgs_sent[k];
+    EXPECT_EQ(fin[obs::kColMsgsSent], sent);
+    EXPECT_EQ(fin[obs::kColBytesSys], res.stats.system_bytes());
+    // Gauges stay sane at every tick, not just at the end.
+    for (std::size_t k = 0; k < rows; ++k) {
+      ASSERT_GE(cell_i64(tl, k, obs::kColInFlight), 0) << "row " << k;
+      ASSERT_GE(cell_i64(tl, k, obs::kColBufferedNow), 0) << "row " << k;
+      ASSERT_GE(cell_i64(tl, k, obs::kColBlockedProcs), 0) << "row " << k;
+      ASSERT_GE(cell_i64(tl, k, obs::kColCkptPermanent), 0) << "row " << k;
+    }
+    // The transport's cumulative buffering agrees with the trace summary.
+    obs::TraceSummary s = obs::summarize_runs(res.traces);
+    EXPECT_EQ(fin[obs::kColBufferedTotal], s.buffered);
+    EXPECT_EQ(fin[obs::kColForwardedTotal], s.forwarded);
+  }
+}
+
+TEST(TimelineGauges, ShardedMergeReconcilesWithItsOwnRunStats) {
+  // The merged timeline of a sharded run must reconcile with that run's
+  // own aggregates (serial and sharded engines order same-time events
+  // differently, so only self-consistency is comparable across engines).
+  harness::ExperimentConfig cfg =
+      cellular_config(harness::Algorithm::kCaoSinghal);
+  harness::RunResult res = harness::run_sharded_experiment(cfg, 4);
+  ASSERT_EQ(res.timelines.size(), 1u);
+  const obs::TimelineRun& tl = res.timelines[0];
+  ASSERT_GT(tl.rows(), 0u);
+  const std::uint64_t* fin = tl.final_row.data();
+  EXPECT_EQ(obs::timeline_i64(fin[obs::kColInFlight]), 0);
+  EXPECT_EQ(obs::timeline_i64(fin[obs::kColBufferedNow]), 0);
+  EXPECT_EQ(obs::timeline_i64(fin[obs::kColBlockedProcs]), 0);
+  EXPECT_EQ(fin[obs::kColDeliveries], res.stats.deliveries);
+  std::uint64_t sent = 0;
+  for (int k = 0; k < rt::kMsgKindCount; ++k) sent += res.stats.msgs_sent[k];
+  EXPECT_EQ(fin[obs::kColMsgsSent], sent);
+  EXPECT_EQ(fin[obs::kColBytesSys], res.stats.system_bytes());
+  // Every MSS region contributed its one-entry depth gauge to the merge.
+  EXPECT_EQ(fin[obs::kColMssCount],
+            static_cast<std::uint64_t>(cfg.sys.cellular.num_mss));
+}
+
+// ---------------------------------------------------------------------------
+// merge_regions: quiet regions pad with their final_row; aggregate ops
+// follow the schema.
+// ---------------------------------------------------------------------------
+
+obs::TimelineRun make_run(std::size_t rows, std::uint64_t fill,
+                          std::uint64_t mss_count) {
+  obs::TimelineRun run;
+  run.interval_ns = 1000;
+  run.data.assign(rows * obs::kTimelineNumColumns, 0);
+  for (std::size_t k = 0; k < rows; ++k) {
+    std::uint64_t* row = run.data.data() + k * obs::kTimelineNumColumns;
+    row[obs::kColTime] = k * 1000;
+    row[obs::kColDeliveries] = fill + k;
+    row[obs::kColInFlight] = obs::timeline_bits_i64(
+        static_cast<std::int64_t>(fill));
+    row[obs::kColOutstandingWeight] = obs::timeline_bits_f64(0.25);
+    row[obs::kColMssBufMin] = fill + 1;
+    row[obs::kColMssBufMax] = fill + 2;
+    row[obs::kColMssCount] = mss_count;
+  }
+  run.final_row.assign(obs::kTimelineNumColumns, 0);
+  run.final_row[obs::kColDeliveries] = fill + 100;
+  run.final_row[obs::kColMssCount] = mss_count;
+  return run;
+}
+
+TEST(TimelineMerge, PadsQuietRegionsWithTheirFinalRow) {
+  std::vector<obs::TimelineRun> parts;
+  parts.push_back(make_run(2, 10, 1));
+  parts.push_back(make_run(4, 20, 1));
+  obs::TimelineRun merged = obs::merge_regions(parts);
+  ASSERT_EQ(merged.rows(), 4u);
+  EXPECT_EQ(merged.interval_ns, 1000u);
+  // Row 1: both regions live — sums of live rows.
+  EXPECT_EQ(merged.row(1)[obs::kColDeliveries], (10 + 1) + (20 + 1));
+  // Row 3: region 0 went quiet after 2 rows — its final_row pads in.
+  EXPECT_EQ(merged.row(3)[obs::kColDeliveries], (10 + 100) + (20 + 3));
+  // Time is recomputed from the grid, never summed.
+  EXPECT_EQ(merged.row(3)[obs::kColTime], 3000u);
+  // f64 columns sum in region-index order.
+  EXPECT_EQ(obs::timeline_f64(merged.row(1)[obs::kColOutstandingWeight]), 0.5);
+  // Signed gauges sum as i64.
+  EXPECT_EQ(obs::timeline_i64(merged.row(1)[obs::kColInFlight]), 30);
+  // MSS aggregates: min/max across contributing regions.
+  EXPECT_EQ(merged.row(1)[obs::kColMssBufMin], 11u);
+  EXPECT_EQ(merged.row(1)[obs::kColMssBufMax], 22u);
+  EXPECT_EQ(merged.row(1)[obs::kColMssCount], 2u);
+  // Merged final row combines the parts' final rows.
+  EXPECT_EQ(merged.final_row[obs::kColDeliveries], 110u + 120u);
+}
+
+TEST(TimelineMerge, MssAggregatesSkipRegionsWithoutMsss) {
+  std::vector<obs::TimelineRun> parts;
+  parts.push_back(make_run(1, 5, 1));
+  obs::TimelineRun no_mss = make_run(1, 50, 0);  // LAN-style region
+  parts.push_back(no_mss);
+  obs::TimelineRun merged = obs::merge_regions(parts);
+  // The region with mss_count == 0 must not drag the min to its cell.
+  EXPECT_EQ(merged.row(0)[obs::kColMssBufMin], 6u);
+  EXPECT_EQ(merged.row(0)[obs::kColMssBufMax], 7u);
+  EXPECT_EQ(merged.row(0)[obs::kColMssCount], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// MCKTL01 round-trip and corrupt-input rejection.
+// ---------------------------------------------------------------------------
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(TimelineIo, RoundTripPreservesEveryByte) {
+  harness::ExperimentConfig cfg =
+      cellular_config(harness::Algorithm::kCaoSinghal);
+  harness::RunResult res = harness::run_replicated(cfg, 2, 1, 1);
+  ASSERT_EQ(res.timelines.size(), 2u);
+
+  obs::TimelineFileMeta meta;
+  meta.num_processes = cfg.sys.num_processes;
+  meta.algo = harness::to_string(cfg.sys.algorithm);
+  meta.columns = obs::builtin_timeline_schema();
+  const std::string path = temp_path("tl_roundtrip.mcktl");
+  std::string err;
+  ASSERT_TRUE(obs::write_timeline_file(path, meta, res.timelines, &err))
+      << err;
+
+  std::optional<obs::TimelineFile> f = obs::read_timeline_file(path, &err);
+  ASSERT_TRUE(f.has_value()) << err;
+  EXPECT_EQ(f->meta.num_processes, cfg.sys.num_processes);
+  EXPECT_EQ(f->meta.algo, "cao-singhal");
+  ASSERT_EQ(f->meta.columns.size(),
+            static_cast<std::size_t>(obs::kTimelineNumColumns));
+  for (int c = 0; c < obs::kTimelineNumColumns; ++c) {
+    EXPECT_EQ(f->meta.columns[c].name, obs::timeline_columns()[c].name);
+    EXPECT_EQ(f->meta.columns[c].value, obs::timeline_columns()[c].value);
+    EXPECT_EQ(f->meta.columns[c].merge, obs::timeline_columns()[c].merge);
+  }
+  ASSERT_EQ(f->runs.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(f->runs[i].rep, res.timelines[i].rep);
+    EXPECT_EQ(f->runs[i].seed, res.timelines[i].seed);
+    EXPECT_EQ(f->runs[i].interval_ns, res.timelines[i].interval_ns);
+    ASSERT_EQ(f->runs[i].data.size(), res.timelines[i].data.size());
+    EXPECT_EQ(std::memcmp(f->runs[i].data.data(),
+                          res.timelines[i].data.data(),
+                          f->runs[i].data.size() * sizeof(std::uint64_t)),
+              0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TimelineIo, RejectsCorruptInput) {
+  const std::string path = temp_path("tl_corrupt.mcktl");
+  std::string err;
+
+  {  // Wrong magic.
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("NOTATIME", 1, 8, f);
+    std::fclose(f);
+    EXPECT_FALSE(obs::read_timeline_file(path, &err).has_value());
+    EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+  }
+  {  // Truncated header after a valid magic.
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("MCKTL01\0", 1, 8, f);
+    std::uint32_t n = 8;
+    std::fwrite(&n, sizeof n, 1, f);
+    std::fclose(f);
+    EXPECT_FALSE(obs::read_timeline_file(path, &err).has_value());
+  }
+  {  // Implausible column count.
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("MCKTL01\0", 1, 8, f);
+    std::uint32_t n = 8, algo_len = 0, cols = 5000;
+    std::fwrite(&n, sizeof n, 1, f);
+    std::fwrite(&algo_len, sizeof algo_len, 1, f);
+    std::fwrite(&cols, sizeof cols, 1, f);
+    std::fclose(f);
+    EXPECT_FALSE(obs::read_timeline_file(path, &err).has_value());
+    EXPECT_NE(err.find("corrupt schema"), std::string::npos) << err;
+  }
+  EXPECT_FALSE(obs::read_timeline_file(temp_path("definitely_missing.mcktl"),
+                                       &err)
+                   .has_value());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer OOM guard: the record cap produces an honest, bounded trace.
+// ---------------------------------------------------------------------------
+
+TEST(TracerCap, TruncationMarkerIsStampedAndAuditRefusesToCertify) {
+  harness::ExperimentConfig cfg =
+      cellular_config(harness::Algorithm::kCaoSinghal);
+  cfg.capture_trace = true;
+  cfg.trace_record_cap = 200;
+  harness::RunResult res = harness::run_experiment(cfg);
+  ASSERT_EQ(res.traces.size(), 1u);
+  const std::vector<obs::TraceRecord>& r = res.traces[0].records;
+  ASSERT_EQ(r.size(), 201u);  // cap + one marker
+  const obs::TraceRecord& marker = r.back();
+  EXPECT_EQ(marker.kind, static_cast<std::uint8_t>(obs::TraceKind::kTruncated));
+  EXPECT_EQ(marker.pid, -1);
+  EXPECT_GT(marker.arg0, 0u) << "marker must carry the drop count";
+  // A truncated rep cannot be certified.
+  obs::AuditReport report =
+      obs::audit_runs(res.traces, cfg.sys.num_processes);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.count(obs::AuditCheck::kTruncation), 0u);
+}
+
+TEST(TracerCap, UncappedRunsStayCertifiable) {
+  harness::ExperimentConfig cfg =
+      cellular_config(harness::Algorithm::kCaoSinghal);
+  cfg.capture_trace = true;
+  harness::RunResult res = harness::run_experiment(cfg);
+  obs::AuditReport report =
+      obs::audit_runs(res.traces, cfg.sys.num_processes);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.count(obs::AuditCheck::kTruncation), 0u);
+}
+
+TEST(TracerCap, CapAppliesPerRegionUnderSharding) {
+  // The truncation point must not depend on the shard count: the cap is
+  // per region tracer, and regions are fixed by topology.
+  harness::ExperimentConfig cfg =
+      cellular_config(harness::Algorithm::kCaoSinghal);
+  cfg.capture_trace = true;
+  cfg.trace_record_cap = 100;
+  harness::RunResult s1 = harness::run_replicated(cfg, 1, 1, 1);
+  harness::RunResult s4 = harness::run_replicated(cfg, 1, 1, 4);
+  ASSERT_EQ(s1.traces.size(), 1u);
+  ASSERT_EQ(s4.traces.size(), 1u);
+  ASSERT_EQ(s1.traces[0].records.size(), s4.traces[0].records.size());
+  EXPECT_EQ(std::memcmp(s1.traces[0].records.data(),
+                        s4.traces[0].records.data(),
+                        s1.traces[0].records.size() *
+                            sizeof(obs::TraceRecord)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Metric merge determinism (satellite: obs::Histogram::merge and friends).
+// ---------------------------------------------------------------------------
+
+TEST(MetricMerge, HistogramMergeMatchesCombinedObservation) {
+  std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0};
+  obs::Histogram a(bounds), b(bounds), combined(bounds);
+  for (double x : {0.5, 1.5, 3.0, 9.0}) {
+    a.observe(x);
+    combined.observe(x);
+  }
+  for (double x : {0.25, 7.0, 16.0}) {
+    b.observe(x);
+    combined.observe(x);
+  }
+  obs::Histogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.min(), combined.min());
+  EXPECT_EQ(merged.max(), combined.max());
+  for (std::size_t i = 0; i < combined.num_buckets(); ++i) {
+    EXPECT_EQ(merged.bucket(i), combined.bucket(i)) << "bucket " << i;
+  }
+  // IEEE addition commutes: merge(a, b) == merge(b, a) bitwise.
+  obs::Histogram merged_ba = b;
+  merged_ba.merge(a);
+  EXPECT_EQ(merged.sum(), merged_ba.sum());
+  EXPECT_EQ(merged.p95(), merged_ba.p95());
+}
+
+TEST(MetricMerge, RegistryMergeIsDeterministicByName) {
+  obs::Registry a, b;
+  a.counter("msgs").inc(10);
+  a.gauge("depth").set(3.0);
+  b.counter("msgs").inc(5);
+  b.counter("only_in_b").inc(1);
+  b.gauge("depth").set(7.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter("msgs").value(), 15u);
+  EXPECT_EQ(a.counter("only_in_b").value(), 1u);
+  EXPECT_EQ(a.gauge("depth").value(), 7.0);  // gauges keep the max
+  // Merge preserves the target's insertion order and appends metrics
+  // present only in `other`, so the rendered table is reproducible.
+  obs::Registry c;
+  c.counter("msgs").inc(15);
+  c.gauge("depth").set(7.0);
+  c.counter("only_in_b").inc(1);
+  EXPECT_EQ(a.render(), c.render());
+}
+
+}  // namespace
+}  // namespace mck

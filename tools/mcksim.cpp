@@ -5,7 +5,9 @@
 //          [--reps R] [--jobs N] [--shards N] [--transport lan|cellular]
 //          [--shared-medium] [--commit broadcast|update|hybrid]
 //          [--wire-sizes] [--wire-fidelity] [--csv]
-//          [--trace FILE] [--metrics] [--audit] [--log-level LVL]
+//          [--trace FILE] [--trace-cap N] [--metrics] [--audit]
+//          [--timeline FILE] [--timeline-interval S] [--progress]
+//          [--log-level LVL]
 //
 // Prints the paper's per-initiation metrics for one configuration;
 // --csv emits a machine-readable row instead.
@@ -60,6 +62,21 @@ namespace {
                "  --trace FILE      record a flight-recorder trace (inspect\n"
                "                    with mcktrace; bytes are identical for\n"
                "                    any --jobs)\n"
+               "  --trace-cap N     cap trace records per rep (per region\n"
+               "                    with --shards); further records drop and\n"
+               "                    a truncation marker is stamped. Default:\n"
+               "                    unlimited, except 4000000 when tracing\n"
+               "                    n >= 100000 (OOM guard; pass 0 to lift)\n"
+               "  --timeline FILE   record the run-health timeline (one\n"
+               "                    gauge row per --timeline-interval of\n"
+               "                    sim time; inspect with mcktrace\n"
+               "                    timeline; bytes are identical for any\n"
+               "                    --jobs and any --shards >= 1)\n"
+               "  --timeline-interval S\n"
+               "                    timeline sampling period in simulated\n"
+               "                    seconds (default 1.0)\n"
+               "  --progress        periodic run-health line on stderr\n"
+               "                    (serial engine; stdout is untouched)\n"
                "  --metrics         derive trace metrics: extra CSV columns,\n"
                "                    or a metrics table after the report\n"
                "  --audit           replay the trace through the offline\n"
@@ -91,6 +108,9 @@ int main(int argc, char** argv) {
   bool csv = false;
   double hours = 4.0;
   std::string trace_path;
+  std::string timeline_path;
+  double timeline_interval_s = 1.0;
+  long long trace_cap = -1;  // -1 = unset (size-based default applies)
   bool metrics = false;
   bool audit = false;
 
@@ -166,6 +186,18 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--trace-cap") {
+      trace_cap = std::atoll(next());
+      if (trace_cap < 0) usage("--trace-cap must be >= 0");
+    } else if (arg == "--timeline") {
+      timeline_path = next();
+    } else if (arg == "--timeline-interval") {
+      timeline_interval_s = std::atof(next());
+      if (timeline_interval_s <= 0) {
+        usage("--timeline-interval must be positive");
+      }
+    } else if (arg == "--progress") {
+      cfg.progress = true;
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg == "--audit") {
@@ -180,6 +212,19 @@ int main(int argc, char** argv) {
   }
   cfg.horizon = sim::from_seconds(hours * 3600.0);
   cfg.capture_trace = !trace_path.empty() || metrics || audit;
+  cfg.capture_timeline = !timeline_path.empty();
+  cfg.timeline_interval = sim::from_seconds(timeline_interval_s);
+  if (trace_cap >= 0) {
+    cfg.trace_record_cap = static_cast<std::uint64_t>(trace_cap);
+  } else if (cfg.capture_trace && cfg.sys.num_processes >= 100000) {
+    // OOM guard at population scale: an uncapped trace of a 1M-host run
+    // is tens of GiB. The cap keeps the run alive and stamps an honest
+    // truncation marker; pass --trace-cap 0 for the old behaviour.
+    cfg.trace_record_cap = 4000000;
+    std::fprintf(stderr,
+                 "mcksim: note: tracing with n >= 100000 defaults to "
+                 "--trace-cap 4000000 (pass --trace-cap 0 to lift)\n");
+  }
   if (harness::resolve_shards(shards) >= 1 &&
       cfg.sys.lan.mode == net::MediumMode::kShared) {
     usage("--shared-medium is incompatible with --shards");
@@ -212,6 +257,18 @@ int main(int argc, char** argv) {
     std::string err;
     if (!obs::write_trace_file(trace_path, meta, res.traces, &err)) {
       std::fprintf(stderr, "mcksim: cannot write trace: %s\n", err.c_str());
+      return 1;
+    }
+  }
+
+  if (!timeline_path.empty()) {
+    obs::TimelineFileMeta meta;
+    meta.num_processes = cfg.sys.num_processes;
+    meta.algo = harness::to_string(cfg.sys.algorithm);
+    meta.columns = obs::builtin_timeline_schema();
+    std::string err;
+    if (!obs::write_timeline_file(timeline_path, meta, res.timelines, &err)) {
+      std::fprintf(stderr, "mcksim: cannot write timeline: %s\n", err.c_str());
       return 1;
     }
   }

@@ -3,10 +3,15 @@
 //   mcktrace dump FILE [--kind NAME] [--pid P] [--rep R] [--limit N]
 //   mcktrace stats FILE
 //   mcktrace export FILE --chrome [--out OUT.json]
+//   mcktrace timeline FILE [--csv | --chrome] [--rep R] [--out OUT]
 //
 // dump prints one line per record (filterable); stats prints the whole-run
 // tallies and the per-round latency breakdown; export --chrome emits a
-// Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+// Chrome trace-event JSON (load in chrome://tracing or Perfetto);
+// timeline inspects MCKTL01 run-health timelines written by
+// mcksim --timeline (sparklines + per-column stats by default, CSV or
+// Chrome counter tracks on request).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,7 +20,9 @@
 
 #include "ckpt/store.hpp"
 #include "obs/graph.hpp"
+#include "obs/metrics.hpp"
 #include "obs/round_metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_io.hpp"
 #include "rt/message.hpp"
 #include "sim/time.hpp"
@@ -36,7 +43,13 @@ namespace {
                "  stats FILE          whole-run tallies + round breakdown\n"
                "  export FILE --chrome [--out OUT.json]\n"
                "                      Chrome trace-event JSON (stdout when\n"
-               "                      --out is omitted)\n");
+               "                      --out is omitted)\n"
+               "  timeline FILE       run-health timeline (mcksim --timeline)\n"
+               "                      default: sparklines + per-column stats\n"
+               "    --csv             dump every row as CSV\n"
+               "    --chrome          Chrome counter-track JSON\n"
+               "    --rep R           only this replication\n"
+               "    --out OUT         write to OUT instead of stdout\n");
   std::exit(2);
 }
 
@@ -192,6 +205,11 @@ std::string detail(const obs::TraceRecord& r) {
                     ckpt_kind_name(r.sub), (unsigned long long)r.arg0,
                     (unsigned long long)r.arg1);
       break;
+    case K::kTruncated:
+      std::snprintf(buf, sizeof(buf), "dropped=%llu since=%.6fs",
+                    (unsigned long long)r.arg0,
+                    sim::to_seconds(static_cast<sim::SimTime>(r.arg1)));
+      break;
     case K::kCount:
       buf[0] = '\0';
       break;
@@ -223,12 +241,211 @@ int cmd_stats(const obs::TraceFile& f) {
   std::printf("trace: algo=%s n=%d runs=%zu records=%llu\n", f.meta.algo.c_str(),
               f.meta.num_processes, f.runs.size(),
               (unsigned long long)f.total_records());
+  bool truncated = false;
   for (const obs::TraceRun& run : f.runs) {
     std::printf("  rep %d: seed=%llu records=%zu\n", run.rep,
                 (unsigned long long)run.seed, run.records.size());
+    for (const obs::TraceRecord& r : run.records) {
+      if (r.kind != static_cast<std::uint8_t>(obs::TraceKind::kTruncated)) {
+        continue;
+      }
+      truncated = true;
+      std::printf("  rep %d: TRUNCATED — %llu record(s) dropped in "
+                  "[%.6fs, %.6fs]\n",
+                  run.rep, (unsigned long long)r.arg0,
+                  sim::to_seconds(static_cast<sim::SimTime>(r.arg1)),
+                  sim::to_seconds(r.at));
+    }
+  }
+  if (truncated) {
+    std::printf("warning: trace hit its record cap; tallies below cover "
+                "the recorded prefix only\n");
   }
   obs::Registry reg = obs::build_registry(s, rounds);
   std::printf("%s", reg.render().c_str());
+  return 0;
+}
+
+// ---- Timeline inspection --------------------------------------------------
+//
+// MCKTL01 files are schema-driven: everything below walks
+// f.meta.columns rather than the compiled-in kCol* constants, so the
+// tool keeps working when the schema grows.
+
+obs::TimelineFile load_timeline(const std::string& path) {
+  std::string err;
+  std::optional<obs::TimelineFile> f = obs::read_timeline_file(path, &err);
+  if (!f) {
+    std::fprintf(stderr, "mcktrace: %s\n", err.c_str());
+    std::exit(1);
+  }
+  return std::move(*f);
+}
+
+double cell_value(obs::TimelineValue v, std::uint64_t bits) {
+  switch (v) {
+    case obs::TimelineValue::kU64:
+      return static_cast<double>(bits);
+    case obs::TimelineValue::kI64:
+      return static_cast<double>(obs::timeline_i64(bits));
+    case obs::TimelineValue::kF64:
+      return obs::timeline_f64(bits);
+  }
+  return 0.0;
+}
+
+void print_cell(std::FILE* out, obs::TimelineValue v, std::uint64_t bits) {
+  switch (v) {
+    case obs::TimelineValue::kU64:
+      std::fprintf(out, "%llu", (unsigned long long)bits);
+      break;
+    case obs::TimelineValue::kI64:
+      std::fprintf(out, "%lld", (long long)obs::timeline_i64(bits));
+      break;
+    case obs::TimelineValue::kF64:
+      std::fprintf(out, "%.17g", obs::timeline_f64(bits));
+      break;
+  }
+}
+
+std::FILE* open_out(const std::string& out_path) {
+  if (out_path.empty()) return stdout;
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "mcktrace: cannot open %s\n", out_path.c_str());
+    std::exit(1);
+  }
+  return out;
+}
+
+int cmd_timeline_csv(const obs::TimelineFile& f, int filter_rep,
+                     const std::string& out_path) {
+  std::FILE* out = open_out(out_path);
+  const std::size_t cols = f.meta.columns.size();
+  std::fprintf(out, "rep");
+  for (const obs::TimelineColumnMeta& c : f.meta.columns) {
+    std::fprintf(out, ",%s", c.name.c_str());
+  }
+  std::fprintf(out, "\n");
+  for (const obs::TimelineRun& run : f.runs) {
+    if (filter_rep >= 0 && run.rep != filter_rep) continue;
+    const std::size_t rows = cols > 0 ? run.data.size() / cols : 0;
+    for (std::size_t k = 0; k < rows; ++k) {
+      std::fprintf(out, "%d", run.rep);
+      for (std::size_t c = 0; c < cols; ++c) {
+        std::fputc(',', out);
+        print_cell(out, f.meta.columns[c].value, run.data[k * cols + c]);
+      }
+      std::fputc('\n', out);
+    }
+  }
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+int cmd_timeline_chrome(const obs::TimelineFile& f, int filter_rep,
+                        const std::string& out_path) {
+  std::FILE* out = open_out(out_path);
+  const std::size_t cols = f.meta.columns.size();
+  std::fprintf(out, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  for (const obs::TimelineRun& run : f.runs) {
+    if (filter_rep >= 0 && run.rep != filter_rep) continue;
+    const std::size_t rows = cols > 0 ? run.data.size() / cols : 0;
+    for (std::size_t k = 0; k < rows; ++k) {
+      const std::uint64_t* row = run.data.data() + k * cols;
+      // Column 0 is sim time by schema convention; fall back to
+      // k * interval if the file has no columns before it.
+      const double ts_us =
+          cols > 0 ? static_cast<double>(row[0]) / 1000.0
+                   : static_cast<double>(run.interval_ns) * k / 1000.0;
+      for (std::size_t c = 1; c < cols; ++c) {
+        std::fprintf(out, "%s", first ? "\n" : ",\n");
+        first = false;
+        std::fprintf(out,
+                     "{\"ph\":\"C\",\"name\":\"%s\",\"pid\":%d,\"ts\":%.3f,"
+                     "\"args\":{\"v\":%.17g}}",
+                     f.meta.columns[c].name.c_str(), run.rep, ts_us,
+                     cell_value(f.meta.columns[c].value, row[c]));
+      }
+    }
+  }
+  std::fprintf(out, "\n]}\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+/// Resamples one column into a fixed-width terminal sparkline (max over
+/// each pixel's tick range, scaled to the column's own [min, max]).
+std::string sparkline(const obs::TimelineRun& run, std::size_t cols,
+                      std::size_t col, obs::TimelineValue v, double lo,
+                      double hi) {
+  static const char* kLevels[] = {"\xe2\x96\x81", "\xe2\x96\x82",
+                                  "\xe2\x96\x83", "\xe2\x96\x84",
+                                  "\xe2\x96\x85", "\xe2\x96\x86",
+                                  "\xe2\x96\x87", "\xe2\x96\x88"};
+  constexpr std::size_t kWidth = 48;
+  const std::size_t rows = cols > 0 ? run.data.size() / cols : 0;
+  if (rows == 0) return "";
+  const std::size_t width = std::min(kWidth, rows);
+  std::string out;
+  for (std::size_t px = 0; px < width; ++px) {
+    const std::size_t k0 = px * rows / width;
+    const std::size_t k1 = std::max(k0 + 1, (px + 1) * rows / width);
+    double m = cell_value(v, run.data[k0 * cols + col]);
+    for (std::size_t k = k0 + 1; k < k1; ++k) {
+      m = std::max(m, cell_value(v, run.data[k * cols + col]));
+    }
+    int level = 0;
+    if (hi > lo) {
+      level = static_cast<int>((m - lo) / (hi - lo) * 7.0 + 0.5);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+int cmd_timeline_stats(const obs::TimelineFile& f, int filter_rep) {
+  const std::size_t cols = f.meta.columns.size();
+  std::printf("timeline: algo=%s n=%d runs=%zu columns=%zu\n",
+              f.meta.algo.c_str(), f.meta.num_processes, f.runs.size(), cols);
+  for (const obs::TimelineRun& run : f.runs) {
+    if (filter_rep >= 0 && run.rep != filter_rep) continue;
+    const std::size_t rows = cols > 0 ? run.data.size() / cols : 0;
+    std::printf("rep %d: seed=%llu interval=%.3fs rows=%zu span=%.0fs\n",
+                run.rep, (unsigned long long)run.seed,
+                static_cast<double>(run.interval_ns) / 1e9, rows,
+                static_cast<double>(run.interval_ns) * rows / 1e9);
+    if (rows == 0) continue;
+    std::printf("  %-20s %12s %12s %12s %12s  %s\n", "column", "min", "mean",
+                "max", "p95", "timeline");
+    for (std::size_t c = 1; c < cols; ++c) {
+      const obs::TimelineValue v = f.meta.columns[c].value;
+      // Two passes: the observed range sizes the histogram buckets, the
+      // second pass fills them for the p95 estimate.
+      double lo = cell_value(v, run.data[c]);
+      double hi = lo;
+      for (std::size_t k = 1; k < rows; ++k) {
+        const double x = cell_value(v, run.data[k * cols + c]);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+      std::vector<double> bounds;
+      constexpr int kBuckets = 32;
+      for (int b = 1; b < kBuckets; ++b) {
+        bounds.push_back(lo + (hi - lo) * b / kBuckets);
+      }
+      obs::Histogram h(std::move(bounds));
+      for (std::size_t k = 0; k < rows; ++k) {
+        h.observe(cell_value(v, run.data[k * cols + c]));
+      }
+      std::printf("  %-20s %12g %12g %12g %12g  %s\n",
+                  f.meta.columns[c].name.c_str(), h.min(), h.mean(), h.max(),
+                  h.p95(),
+                  sparkline(run, cols, c, v, h.min(), h.max()).c_str());
+    }
+  }
   return 0;
 }
 
@@ -357,6 +574,7 @@ int main(int argc, char** argv) {
   int filter_rep = -1;
   std::uint64_t limit = ~0ull;
   bool chrome = false;
+  bool csv = false;
   std::string out_path;
 
   for (int i = 3; i < argc; ++i) {
@@ -382,11 +600,21 @@ int main(int argc, char** argv) {
       limit = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--chrome") {
       chrome = true;
+    } else if (arg == "--csv") {
+      csv = true;
     } else if (arg == "--out" || arg == "-o") {
       out_path = next();
     } else {
       usage(("unknown option: " + arg).c_str());
     }
+  }
+
+  if (cmd == "timeline") {
+    obs::TimelineFile tf = load_timeline(path);
+    if (csv && chrome) usage("--csv and --chrome are exclusive");
+    if (csv) return cmd_timeline_csv(tf, filter_rep, out_path);
+    if (chrome) return cmd_timeline_chrome(tf, filter_rep, out_path);
+    return cmd_timeline_stats(tf, filter_rep);
   }
 
   obs::TraceFile f = load(path);
