@@ -470,7 +470,13 @@ ScalePathPerf measure_scale_path() {
 }
 
 void usage() {
-  std::fprintf(stderr, "usage: perf_report [--quick] [--out PATH]\n");
+  std::fprintf(stderr,
+               "usage: perf_report [--quick] [--out PATH]\n"
+               "                   [--history PATH] [--sha SHA] [--stamp TS]\n"
+               "  --history PATH  append a one-line JSONL summary of this run\n"
+               "                  (default BENCH_history.jsonl; \"\" disables)\n"
+               "  --sha SHA       git commit the run measures (history key)\n"
+               "  --stamp TS      timestamp string for the history line\n");
 }
 
 }  // namespace
@@ -478,8 +484,14 @@ void usage() {
 int main(int argc, char** argv) {
   bool quick = bench::has_flag(argc, argv, "--quick");
   const char* out_path = "BENCH_hotpath.json";
+  const char* history_path = "BENCH_history.jsonl";
+  const char* sha = "";
+  const char* stamp = "";
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--history") == 0) history_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--sha") == 0) sha = argv[i + 1];
+    if (std::strcmp(argv[i], "--stamp") == 0) stamp = argv[i + 1];
   }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -620,6 +632,36 @@ int main(int argc, char** argv) {
                static_cast<long long>(sc.n1M_peak_blocked));
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
+
+  // The snapshot above overwrites; the history file accumulates — one
+  // compact JSONL line per run, keyed by (git sha, timestamp) so trends
+  // across commits survive the snapshot churn.
+  if (history_path[0] != '\0') {
+    std::FILE* h = std::fopen(history_path, "a");
+    if (!h) {
+      std::fprintf(stderr, "perf_report: cannot append to %s\n", history_path);
+      return 1;
+    }
+    std::fprintf(h,
+                 "{\"sha\":\"%s\",\"stamp\":\"%s\",\"quick\":%s,"
+                 "\"current_events_per_sec\":%.1f,"
+                 "\"prechange_events_per_sec\":%.1f,"
+                 "\"speedup_over_prechange\":%.3f,"
+                 "\"allocs_per_event_current\":%.4f,"
+                 "\"sim_seconds_per_wall_second\":%.1f,"
+                 "\"deliveries_per_sec\":%.1f,"
+                 "\"lanes1_overhead\":%.3f,"
+                 "\"n1k_deliveries_per_sec\":%.1f,"
+                 "\"n1M_wall_s\":%.3f,"
+                 "\"n1M_peak_rss_kib\":%llu}\n",
+                 sha, stamp, quick ? "true" : "false", cur_eps, leg_eps,
+                 speedup, cur_ape, st.sim_seconds_per_wall_second,
+                 st.events_per_sec, sp.lanes1_overhead,
+                 sc.n1k_deliveries_per_sec, sc.n1M_wall_s,
+                 static_cast<unsigned long long>(sc.n1M_peak_rss_kib));
+    std::fclose(h);
+    std::printf("appended %s\n", history_path);
+  }
 
   if (speedup < 1.5) {
     std::fprintf(stderr,

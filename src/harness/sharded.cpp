@@ -585,6 +585,11 @@ RunResult run_sharded_experiment(const ExperimentConfig& config, int shards) {
                      [](const obs::TraceRecord& a, const obs::TraceRecord& b) {
                        return a.at < b.at;
                      });
+    // Digest the merged stream (post-sort, so the digests are the same
+    // pure function of the records the single-shard path computes —
+    // byte-identity across --shards extends to the digest footer).
+    run.digests =
+        obs::compute_run_digests(run.records.data(), run.records.size());
     result.traces.push_back(std::move(run));
   }
 

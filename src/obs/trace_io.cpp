@@ -8,8 +8,15 @@ namespace mck::obs {
 
 namespace {
 
-constexpr char kFileMagic[8] = {'M', 'C', 'K', 'T', 'R', 'C', '0', '1'};
+constexpr char kFileMagicV1[8] = {'M', 'C', 'K', 'T', 'R', 'C', '0', '1'};
+constexpr char kFileMagicV2[8] = {'M', 'C', 'K', 'T', 'R', 'C', '0', '2'};
 constexpr char kRunMagic[4] = {'R', 'U', 'N', '.'};
+constexpr char kDigMagic[4] = {'D', 'I', 'G', '.'};
+
+// Domain separator for the footer's self-digest (guards the footer bytes
+// themselves, so a bit flip inside the index is detected as "corrupt
+// footer" instead of silently mislocating divergences).
+constexpr std::uint64_t kFooterSeed = 0x666f6f746572ull;  // "footer"
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -42,16 +49,28 @@ bool read_pod(std::FILE* f, T& v) {
   return read_all(f, &v, sizeof v);
 }
 
+// Appends a POD's raw bytes to the footer image (the footer is built in
+// memory so its self-digest can cover exactly the bytes written).
+template <typename T>
+void append_pod(std::vector<unsigned char>& buf, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(&v);
+  buf.insert(buf.end(), p, p + sizeof v);
+}
+
 }  // namespace
 
 bool write_trace_file(const std::string& path, const TraceFileMeta& meta,
-                      const std::vector<TraceRun>& runs, std::string* error) {
+                      const std::vector<TraceRun>& runs, std::string* error,
+                      TraceFormat format) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) {
     set_error(error, "cannot open " + path + " for writing");
     return false;
   }
-  bool ok = write_all(f.get(), kFileMagic, sizeof kFileMagic);
+  const bool v2 = format == TraceFormat::kV2;
+  bool ok = write_all(f.get(), v2 ? kFileMagicV2 : kFileMagicV1,
+                      sizeof kFileMagicV2);
   ok = ok && write_pod(f.get(), static_cast<std::uint32_t>(meta.num_processes));
   ok = ok && write_pod(f.get(), static_cast<std::uint32_t>(meta.algo.size()));
   ok = ok && write_all(f.get(), meta.algo.data(), meta.algo.size());
@@ -63,6 +82,31 @@ bool write_trace_file(const std::string& path, const TraceFileMeta& meta,
                          static_cast<std::uint64_t>(run.records.size()));
     ok = ok && write_all(f.get(), run.records.data(),
                          run.records.size() * sizeof(TraceRecord));
+  }
+  if (ok && v2) {
+    // Footer image built in memory (a few KB even for 1M-record runs —
+    // one u64 per 4096 records) so the trailing self-digest covers it.
+    std::vector<unsigned char> footer;
+    append_pod(footer, static_cast<std::uint32_t>(runs.size()));
+    for (const TraceRun& run : runs) {
+      // Trust digests the harness already computed over these exact
+      // records (the per-region merge path); recompute otherwise.
+      RunDigests fresh;
+      const RunDigests* d = &run.digests;
+      if (d->chunks.size() != digest_chunk_count(run.records.size())) {
+        fresh = compute_run_digests(run.records.data(), run.records.size());
+        d = &fresh;
+      }
+      append_pod(footer, static_cast<std::uint32_t>(run.rep));
+      append_pod(footer, d->run);
+      append_pod(footer, static_cast<std::uint64_t>(d->chunks.size()));
+      for (std::uint64_t c : d->chunks) append_pod(footer, c);
+    }
+    const std::uint64_t self =
+        digest_bytes(footer.data(), footer.size(), kFooterSeed);
+    ok = ok && write_all(f.get(), kDigMagic, sizeof kDigMagic);
+    ok = ok && write_all(f.get(), footer.data(), footer.size());
+    ok = ok && write_pod(f.get(), self);
   }
   if (!ok) {
     set_error(error, "short write to " + path);
@@ -83,12 +127,19 @@ std::optional<TraceFile> read_trace_file(const std::string& path,
     return std::nullopt;
   }
   char magic[8];
-  if (!read_all(f.get(), magic, sizeof magic) ||
-      std::memcmp(magic, kFileMagic, sizeof kFileMagic) != 0) {
+  if (!read_all(f.get(), magic, sizeof magic)) {
     set_error(error, path + ": not a mck trace file (bad magic)");
     return std::nullopt;
   }
   TraceFile out;
+  if (std::memcmp(magic, kFileMagicV2, sizeof kFileMagicV2) == 0) {
+    out.version = 2;
+  } else if (std::memcmp(magic, kFileMagicV1, sizeof kFileMagicV1) == 0) {
+    out.version = 1;
+  } else {
+    set_error(error, path + ": not a mck trace file (bad magic)");
+    return std::nullopt;
+  }
   std::uint32_t n = 0, algo_len = 0;
   if (!read_pod(f.get(), n) || !read_pod(f.get(), algo_len) ||
       algo_len > 4096) {
@@ -101,12 +152,68 @@ std::optional<TraceFile> read_trace_file(const std::string& path,
     set_error(error, path + ": truncated header");
     return std::nullopt;
   }
+  bool saw_footer = false;
   for (;;) {
-    char run_magic[4];
-    std::size_t got = std::fread(run_magic, 1, sizeof run_magic, f.get());
+    char sect_magic[4];
+    std::size_t got = std::fread(sect_magic, 1, sizeof sect_magic, f.get());
     if (got == 0) break;  // clean EOF
-    if (got != sizeof run_magic ||
-        std::memcmp(run_magic, kRunMagic, sizeof kRunMagic) != 0) {
+    if (got != sizeof sect_magic) {
+      set_error(error, path + ": corrupt run section");
+      return std::nullopt;
+    }
+    if (std::memcmp(sect_magic, kDigMagic, sizeof kDigMagic) == 0) {
+      if (out.version < 2 || saw_footer) {
+        set_error(error, path + ": unexpected digest footer");
+        return std::nullopt;
+      }
+      // Parse the footer while rebuilding its byte image, then check the
+      // trailing self-digest against it.
+      std::vector<unsigned char> image;
+      std::uint32_t run_count = 0;
+      if (!read_pod(f.get(), run_count) ||
+          run_count != static_cast<std::uint32_t>(out.runs.size())) {
+        set_error(error, path + ": corrupt digest footer (run count)");
+        return std::nullopt;
+      }
+      append_pod(image, run_count);
+      for (std::uint32_t i = 0; i < run_count; ++i) {
+        std::uint32_t rep = 0;
+        std::uint64_t run_digest = 0, chunk_count = 0;
+        if (!read_pod(f.get(), rep) || !read_pod(f.get(), run_digest) ||
+            !read_pod(f.get(), chunk_count)) {
+          set_error(error, path + ": truncated digest footer");
+          return std::nullopt;
+        }
+        TraceRun& run = out.runs[i];
+        if (rep != static_cast<std::uint32_t>(run.rep) ||
+            chunk_count != digest_chunk_count(run.records.size())) {
+          set_error(error, path + ": corrupt digest footer (chunk shape)");
+          return std::nullopt;
+        }
+        append_pod(image, rep);
+        append_pod(image, run_digest);
+        append_pod(image, chunk_count);
+        run.digests.run = run_digest;
+        run.digests.chunks.resize(static_cast<std::size_t>(chunk_count));
+        if (!read_all(f.get(), run.digests.chunks.data(),
+                      static_cast<std::size_t>(chunk_count) *
+                          sizeof(std::uint64_t))) {
+          set_error(error, path + ": truncated digest footer");
+          return std::nullopt;
+        }
+        for (std::uint64_t c : run.digests.chunks) append_pod(image, c);
+      }
+      std::uint64_t self = 0;
+      if (!read_pod(f.get(), self) ||
+          self != digest_bytes(image.data(), image.size(), kFooterSeed)) {
+        set_error(error, path + ": corrupt digest footer (self-digest)");
+        return std::nullopt;
+      }
+      saw_footer = true;
+      continue;  // only EOF may follow
+    }
+    if (std::memcmp(sect_magic, kRunMagic, sizeof kRunMagic) != 0 ||
+        saw_footer) {
       set_error(error, path + ": corrupt run section");
       return std::nullopt;
     }
@@ -130,6 +237,33 @@ std::optional<TraceFile> read_trace_file(const std::string& path,
       return std::nullopt;
     }
     out.runs.push_back(std::move(run));
+  }
+  if (out.version >= 2 && !saw_footer) {
+    set_error(error, path + ": MCKTRC02 file is missing its digest footer");
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::vector<DigestMismatch> verify_trace_digests(const TraceFile& file) {
+  std::vector<DigestMismatch> out;
+  for (const TraceRun& run : file.runs) {
+    if (!run.digests.present()) continue;
+    const std::uint64_t chunks = digest_chunk_count(run.records.size());
+    for (std::uint64_t c = 0; c < chunks && c < run.digests.chunks.size();
+         ++c) {
+      const std::uint64_t want =
+          compute_chunk_digest(run.records.data(), run.records.size(), c);
+      if (run.digests.chunks[c] != want) {
+        out.push_back(DigestMismatch{run.rep, static_cast<std::int64_t>(c),
+                                     run.digests.chunks[c], want});
+      }
+    }
+    const std::uint64_t want =
+        fold_run_digest(run.digests.chunks, run.records.size());
+    if (run.digests.run != want) {
+      out.push_back(DigestMismatch{run.rep, -1, run.digests.run, want});
+    }
   }
   return out;
 }

@@ -1,7 +1,7 @@
 // Binary trace-file format for the flight recorder.
 //
 // Layout (little-endian, raw 32-byte TraceRecords):
-//   file header:  magic "MCKTRC01" (8 B)
+//   file header:  magic "MCKTRC02" (8 B) — or "MCKTRC01" for legacy files
 //                 u32 num_processes
 //                 u32 algo name length, followed by that many bytes
 //   per run:      magic "RUN." (4 B)   — one section per replication,
@@ -9,25 +9,44 @@
 //                 u64 seed
 //                 u64 record count
 //                 count * sizeof(TraceRecord) raw records
+//   footer (MCKTRC02 only):
+//                 magic "DIG." (4 B)
+//                 u32 run count (must equal the RUN. section count)
+//                 per run: u32 rep, u64 run digest, u64 chunk count,
+//                          chunk count * u64 chunk digests
+//                          (one digest per kDigestChunkRecords records,
+//                          obs/digest.hpp)
+//                 u64 footer digest over every footer byte after "DIG."
 //
 // The writer emits runs in the order given (the harness merges per-rep
 // buffers in rep-index order), so the same (config, seed, reps) always
-// produces a byte-identical file regardless of --jobs.
+// produces a byte-identical file regardless of --jobs. The digest footer
+// is a pure function of the records, so it preserves that guarantee.
+//
+// Readers accept both versions: MCKTRC01 files simply load with no
+// digests (TraceRun::digests.present() == false). A malformed footer —
+// truncated, run-count mismatch, implausible chunk count, or a footer
+// digest that does not match the footer bytes — rejects the file: a
+// corrupt localization index is worse than none.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/digest.hpp"
 #include "obs/trace.hpp"
 
 namespace mck::obs {
 
 /// Records of one replication, tagged with its rep index and seed.
+/// `digests` ride along when the harness (or the reader) computed them;
+/// write_trace_file trusts a matching set and computes a missing one.
 struct TraceRun {
   int rep = 0;
   std::uint64_t seed = 0;
   std::vector<TraceRecord> records;
+  RunDigests digests;
 };
 
 struct TraceFileMeta {
@@ -38,6 +57,7 @@ struct TraceFileMeta {
 struct TraceFile {
   TraceFileMeta meta;
   std::vector<TraceRun> runs;
+  int version = 2;  // 1 = MCKTRC01 (no digest footer), 2 = MCKTRC02
 
   std::uint64_t total_records() const {
     std::uint64_t n = 0;
@@ -46,15 +66,35 @@ struct TraceFile {
   }
 };
 
+/// On-disk format selector for write_trace_file. kV1 exists for
+/// backward-compat tests and for producing fixtures old readers accept.
+enum class TraceFormat { kV1, kV2 };
+
 /// Writes `runs` to `path`; returns false (and fills *error if non-null)
-/// on I/O failure.
+/// on I/O failure. kV2 (the default) appends the digest footer, reusing
+/// each run's precomputed digests when their chunk count matches the
+/// record count and computing them in one pass otherwise.
 bool write_trace_file(const std::string& path, const TraceFileMeta& meta,
                       const std::vector<TraceRun>& runs,
-                      std::string* error = nullptr);
+                      std::string* error = nullptr,
+                      TraceFormat format = TraceFormat::kV2);
 
 /// Reads a trace file back; std::nullopt (and *error) on a malformed or
-/// unreadable file.
+/// unreadable file. Accepts MCKTRC01 and MCKTRC02.
 std::optional<TraceFile> read_trace_file(const std::string& path,
                                          std::string* error = nullptr);
+
+/// One stored digest that does not match the records it covers.
+struct DigestMismatch {
+  int rep = 0;
+  std::int64_t chunk = -1;  // -1: the whole-run digest disagrees
+  std::uint64_t stored = 0;
+  std::uint64_t computed = 0;
+};
+
+/// Recomputes every present digest against the loaded records. An empty
+/// result means every stored digest checks out (vacuously true for
+/// MCKTRC01 files, which store none — check TraceFile::version).
+std::vector<DigestMismatch> verify_trace_digests(const TraceFile& file);
 
 }  // namespace mck::obs

@@ -9,6 +9,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/sharded.hpp"
+#include "obs/diff.hpp"
 #include "stats/welford.hpp"
 
 namespace mck {
@@ -89,13 +90,16 @@ void expect_same_result(const harness::RunResult& a,
   for (std::size_t i = 0; i < a.traces.size(); ++i) {
     EXPECT_EQ(a.traces[i].rep, b.traces[i].rep);
     EXPECT_EQ(a.traces[i].seed, b.traces[i].seed);
-    ASSERT_EQ(a.traces[i].records.size(), b.traces[i].records.size())
-        << "rep " << i;
-    EXPECT_EQ(std::memcmp(a.traces[i].records.data(),
-                          b.traces[i].records.data(),
-                          a.traces[i].records.size() * sizeof(TraceRecord)),
-              0)
-        << "rep " << i;
+    EXPECT_EQ(a.traces[i].digests.run, b.traces[i].digests.run)
+        << "rep " << i << ": harness-computed run digest differs";
+    // On divergence, fail with the forensic report (first diverging
+    // record, classification, causal backtrace) instead of memcmp != 0.
+    std::optional<obs::RunDivergence> d = obs::diff_records(
+        a.traces[i].records, b.traces[i].records, a.traces[i].rep);
+    if (d) {
+      ADD_FAILURE() << "trace divergence at rep " << i << ":\n"
+                    << obs::render_divergence(*d);
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 #include "harness/experiment.hpp"
 #include "harness/sharded.hpp"
 #include "obs/audit.hpp"
+#include "obs/diff.hpp"
 #include "obs/metrics.hpp"
 #include "obs/round_metrics.hpp"
 #include "obs/timeline.hpp"
@@ -54,14 +55,15 @@ void expect_same_timelines(const std::vector<obs::TimelineRun>& a,
     EXPECT_EQ(a[i].rep, b[i].rep);
     EXPECT_EQ(a[i].seed, b[i].seed);
     EXPECT_EQ(a[i].interval_ns, b[i].interval_ns);
-    ASSERT_EQ(a[i].data.size(), b[i].data.size());
-    EXPECT_EQ(std::memcmp(a[i].data.data(), b[i].data.data(),
-                          a[i].data.size() * sizeof(std::uint64_t)),
-              0);
-    ASSERT_EQ(a[i].final_row.size(), b[i].final_row.size());
-    EXPECT_EQ(std::memcmp(a[i].final_row.data(), b[i].final_row.data(),
-                          a[i].final_row.size() * sizeof(std::uint64_t)),
-              0);
+    // On divergence, fail with the forensic report (first diverging row
+    // and column, schema-named, with preceding context) instead of
+    // memcmp != 0. Covers data rows and the post-quiescence final row.
+    std::optional<obs::TimelineDivergence> d = obs::diff_timeline_runs(
+        a[i], b[i], obs::builtin_timeline_schema());
+    if (d) {
+      ADD_FAILURE() << "timeline divergence at rep " << i << ":\n"
+                    << obs::render_timeline_divergence(*d);
+    }
   }
 }
 
@@ -295,11 +297,12 @@ TEST(TimelineIo, RoundTripPreservesEveryByte) {
     EXPECT_EQ(f->runs[i].rep, res.timelines[i].rep);
     EXPECT_EQ(f->runs[i].seed, res.timelines[i].seed);
     EXPECT_EQ(f->runs[i].interval_ns, res.timelines[i].interval_ns);
-    ASSERT_EQ(f->runs[i].data.size(), res.timelines[i].data.size());
-    EXPECT_EQ(std::memcmp(f->runs[i].data.data(),
-                          res.timelines[i].data.data(),
-                          f->runs[i].data.size() * sizeof(std::uint64_t)),
-              0);
+    std::optional<obs::TimelineDivergence> d = obs::diff_timeline_runs(
+        f->runs[i], res.timelines[i], f->meta.columns);
+    if (d) {
+      ADD_FAILURE() << "timeline round-trip divergence at rep " << i << ":\n"
+                    << obs::render_timeline_divergence(*d);
+    }
   }
   std::remove(path.c_str());
 }
@@ -389,12 +392,12 @@ TEST(TracerCap, CapAppliesPerRegionUnderSharding) {
   harness::RunResult s4 = harness::run_replicated(cfg, 1, 1, 4);
   ASSERT_EQ(s1.traces.size(), 1u);
   ASSERT_EQ(s4.traces.size(), 1u);
-  ASSERT_EQ(s1.traces[0].records.size(), s4.traces[0].records.size());
-  EXPECT_EQ(std::memcmp(s1.traces[0].records.data(),
-                        s4.traces[0].records.data(),
-                        s1.traces[0].records.size() *
-                            sizeof(obs::TraceRecord)),
-            0);
+  std::optional<obs::RunDivergence> d =
+      obs::diff_records(s1.traces[0].records, s4.traces[0].records);
+  if (d) {
+    ADD_FAILURE() << "capped-trace divergence between shard counts:\n"
+                  << obs::render_divergence(*d);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -82,6 +82,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Before auditing semantics, check integrity: every stored chunk/run
+  // digest (MCKTRC02) must match the records it covers. A mismatch means
+  // the file was modified after writing — auditing it would attribute the
+  // corruption to the protocol.
+  std::vector<obs::DigestMismatch> bad = obs::verify_trace_digests(*f);
+  if (!bad.empty()) {
+    for (const obs::DigestMismatch& m : bad) {
+      if (m.chunk < 0) {
+        std::fprintf(stderr,
+                     "mckaudit: rep %d run digest mismatch "
+                     "(stored %016llx, computed %016llx)\n",
+                     m.rep, (unsigned long long)m.stored,
+                     (unsigned long long)m.computed);
+      } else {
+        std::fprintf(stderr,
+                     "mckaudit: rep %d chunk %lld digest mismatch "
+                     "(records %lld..%lld; stored %016llx, computed %016llx)\n",
+                     m.rep, (long long)m.chunk,
+                     (long long)m.chunk * obs::kDigestChunkRecords,
+                     (long long)(m.chunk + 1) * obs::kDigestChunkRecords - 1,
+                     (unsigned long long)m.stored,
+                     (unsigned long long)m.computed);
+      }
+    }
+    std::fprintf(stderr,
+                 "mckaudit: %s fails digest verification (%zu mismatch(es)) "
+                 "— refusing to audit corrupt records\n",
+                 path.c_str(), bad.size());
+    return 1;
+  }
+
   if (sample > 0 && static_cast<std::size_t>(sample) < f->runs.size()) {
     // Every K-th run starting from the first: index i * stride is strictly
     // increasing and stays in range for i < K, so exactly K distinct runs

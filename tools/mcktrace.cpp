@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ckpt/store.hpp"
+#include "obs/diff.hpp"
 #include "obs/graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/round_metrics.hpp"
@@ -28,6 +29,16 @@
 #include "sim/time.hpp"
 
 using namespace mck;
+
+// obs/diff.cpp mirrors the rt/ckpt enum names as raw-byte tables (obs is
+// the independent-witness layer and must not link rt/ckpt). This tool
+// sees both sides, so pin the mirrored table sizes to the real enums —
+// adding a MsgKind/CkptKind without teaching the decoder fails here.
+static_assert(obs::kDecodeMsgKindCount == rt::kMsgKindCount,
+              "obs::decode_msg_kind is out of sync with rt::MsgKind");
+static_assert(obs::kDecodeCkptKindCount ==
+                  static_cast<int>(ckpt::CkptKind::kDisconnect) + 1,
+              "obs::decode_ckpt_kind is out of sync with ckpt::CkptKind");
 
 namespace {
 
@@ -63,175 +74,32 @@ obs::TraceFile load(const std::string& path) {
   return std::move(*f);
 }
 
+// The per-kind field decoding lives in obs/diff.{hpp,cpp} so that the
+// diff engine and this tool render records identically.
 const char* msg_kind_name(std::uint8_t sub) {
-  if (sub >= rt::kMsgKindCount) return "?";
-  return rt::to_string(static_cast<rt::MsgKind>(sub));
-}
-
-const char* ckpt_kind_name(std::uint8_t sub) {
-  if (sub > static_cast<std::uint8_t>(ckpt::CkptKind::kDisconnect)) return "?";
-  return ckpt::to_string(static_cast<ckpt::CkptKind>(sub));
-}
-
-// InitiationId is (pid, inum) packed high/low (ckpt/store.hpp); decode
-// instead of printing the raw 64-bit value.
-std::string init_name(std::uint64_t id) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "(P%llu,%llu)",
-                (unsigned long long)(id >> 32),
-                (unsigned long long)(id & 0xffffffffull));
-  return buf;
-}
-
-double bits_to_double(std::uint64_t bits) {
-  double d;
-  std::memcpy(&d, &bits, sizeof(d));
-  return d;
-}
-
-/// Kind-specific human rendering of the sub/aux/arg fields — the one
-/// place the per-kind conventions of obs/trace.hpp are interpreted.
-std::string detail(const obs::TraceRecord& r) {
-  using K = obs::TraceKind;
-  char buf[160];
-  auto k = static_cast<K>(r.kind);
-  switch (k) {
-    case K::kEventFire:
-      std::snprintf(buf, sizeof(buf), "seq=%llu slot=%llu",
-                    (unsigned long long)r.arg0, (unsigned long long)r.arg1);
-      break;
-    case K::kEventCancel:
-      std::snprintf(buf, sizeof(buf), "slot=%llu gen=%llu",
-                    (unsigned long long)r.arg0, (unsigned long long)r.arg1);
-      break;
-    case K::kQueueDepth:
-      std::snprintf(buf, sizeof(buf), "live=%llu heap=%llu",
-                    (unsigned long long)r.arg0, (unsigned long long)r.arg1);
-      break;
-    case K::kMsgSend:
-    case K::kMsgDeliver: {
-      char peer[24];
-      if (k == K::kMsgSend && r.aux == obs::kBroadcastDst) {
-        std::snprintf(peer, sizeof(peer), "dst=*");
-      } else {
-        std::snprintf(peer, sizeof(peer), "%s=%u",
-                      k == K::kMsgSend ? "dst" : "src", r.aux);
-      }
-      char ev[32];
-      ev[0] = '\0';
-      if (obs::msg_stamp_of(r.arg1) != 0) {
-        std::snprintf(ev, sizeof(ev), " ev=%llu",
-                      (unsigned long long)(obs::msg_stamp_of(r.arg1) - 1));
-      }
-      std::snprintf(buf, sizeof(buf), "%s id=%llu %s bytes=%llu%s",
-                    msg_kind_name(r.sub), (unsigned long long)r.arg0, peer,
-                    (unsigned long long)obs::msg_bytes_of(r.arg1), ev);
-      break;
-    }
-    case K::kMsgRetry:
-      std::snprintf(buf, sizeof(buf), "%s id=%llu dst=%u retries=%llu "
-                    "extra=%.6fs",
-                    msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
-                    (unsigned long long)obs::retry_count_of(r.arg1),
-                    sim::to_seconds(obs::retry_extra_of(r.arg1)));
-      break;
-    case K::kMsgBuffered:
-      std::snprintf(buf, sizeof(buf), "%s id=%llu at-mss=%u depth=%llu",
-                    msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
-                    (unsigned long long)r.arg1);
-      break;
-    case K::kMsgForwarded:
-      std::snprintf(buf, sizeof(buf), "%s id=%llu mss=%u->%llu",
-                    msg_kind_name(r.sub), (unsigned long long)r.arg0, r.aux,
-                    (unsigned long long)r.arg1);
-      break;
-    case K::kHandoff:
-      std::snprintf(buf, sizeof(buf), "mss=%llu->%llu",
-                    (unsigned long long)r.arg0, (unsigned long long)r.arg1);
-      break;
-    case K::kDisconnect:
-      std::snprintf(buf, sizeof(buf), "at-mss=%llu",
-                    (unsigned long long)r.arg0);
-      break;
-    case K::kReconnect:
-      std::snprintf(buf, sizeof(buf), "at-mss=%llu buffered=%llu",
-                    (unsigned long long)r.arg0, (unsigned long long)r.arg1);
-      break;
-    case K::kBlock:
-      buf[0] = '\0';
-      break;
-    case K::kUnblock:
-      std::snprintf(buf, sizeof(buf), "blocked=%.6fs",
-                    sim::to_seconds(static_cast<sim::SimTime>(r.arg0)));
-      break;
-    case K::kInitStart:
-      std::snprintf(buf, sizeof(buf), "init=%s", init_name(r.arg0).c_str());
-      break;
-    case K::kRoundCommit:
-    case K::kRoundAbort:
-      std::snprintf(buf, sizeof(buf), "init=%s latency=%.6fs",
-                    init_name(r.arg0).c_str(),
-                    sim::to_seconds(static_cast<sim::SimTime>(r.arg1)));
-      break;
-    case K::kCkptTaken:
-      std::snprintf(buf, sizeof(buf), "%s init=%s ref=%llu csn=%llu",
-                    ckpt_kind_name(r.sub), init_name(r.arg0).c_str(),
-                    (unsigned long long)(r.arg1 >> 32),
-                    (unsigned long long)(r.arg1 & 0xffffffffull));
-      break;
-    case K::kCkptPromoted:
-      std::snprintf(buf, sizeof(buf), "%s->tentative init=%s ref=%llu",
-                    ckpt_kind_name(r.sub), init_name(r.arg0).c_str(),
-                    (unsigned long long)r.arg1);
-      break;
-    case K::kCkptPermanent:
-    case K::kCkptDiscarded:
-      std::snprintf(buf, sizeof(buf), "%s init=%s ref=%llu",
-                    ckpt_kind_name(r.sub), init_name(r.arg0).c_str(),
-                    (unsigned long long)r.arg1);
-      break;
-    case K::kWeightSplit:
-      std::snprintf(buf, sizeof(buf), "init=%s dst=%u sent-weight=%g",
-                    init_name(r.arg0).c_str(), r.aux,
-                    bits_to_double(r.arg1));
-      break;
-    case K::kWeightReturn:
-      std::snprintf(buf, sizeof(buf), "init=%s from=%u acc-weight=%g",
-                    init_name(r.arg0).c_str(), r.aux,
-                    bits_to_double(r.arg1));
-      break;
-    case K::kCkptCursor:
-      std::snprintf(buf, sizeof(buf), "%s ref=%llu cursor=%llu",
-                    ckpt_kind_name(r.sub), (unsigned long long)r.arg0,
-                    (unsigned long long)r.arg1);
-      break;
-    case K::kTruncated:
-      std::snprintf(buf, sizeof(buf), "dropped=%llu since=%.6fs",
-                    (unsigned long long)r.arg0,
-                    sim::to_seconds(static_cast<sim::SimTime>(r.arg1)));
-      break;
-    case K::kCount:
-      buf[0] = '\0';
-      break;
-  }
-  return buf;
+  return obs::decode_msg_kind(sub);
 }
 
 int cmd_dump(const obs::TraceFile& f, int filter_kind, int filter_pid,
              bool pid_set, int filter_rep, std::uint64_t limit) {
-  std::uint64_t printed = 0;
+  // --limit applies after the kind/pid/rep filters: "first N matching
+  // records", not "matches among the first N". Matching continues past
+  // the limit so the trailer reports the full match count.
+  std::uint64_t matched = 0, total = 0;
   for (const obs::TraceRun& run : f.runs) {
     if (filter_rep >= 0 && run.rep != filter_rep) continue;
     for (const obs::TraceRecord& r : run.records) {
+      ++total;
       if (filter_kind >= 0 && r.kind != filter_kind) continue;
       if (pid_set && r.pid != filter_pid) continue;
-      std::printf("rep=%d %12.6f %4d %-14s %s\n", run.rep,
-                  sim::to_seconds(r.at), r.pid,
-                  obs::to_string(static_cast<obs::TraceKind>(r.kind)),
-                  detail(r).c_str());
-      if (++printed == limit) return 0;
+      if (matched++ < limit) {
+        std::printf("%s\n", obs::format_record_line(run.rep, r).c_str());
+      }
     }
   }
+  std::printf("matched %llu of %llu records%s\n",
+              (unsigned long long)matched, (unsigned long long)total,
+              matched > limit ? " (output capped by --limit)" : "");
   return 0;
 }
 
@@ -547,7 +415,7 @@ int cmd_export_chrome(const obs::TraceFile& f, const std::string& out_path) {
         default: {
           std::string name = obs::to_string(k);
           std::string args;
-          json_escape(args, detail(r));
+          json_escape(args, obs::format_record(r));
           emit("{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"pid\":%d,"
                "\"tid\":%d,\"ts\":%.3f,\"args\":{\"detail\":\"%s\"}}",
                name.c_str(), run.rep, r.pid, to_us(r.at), args.c_str());
